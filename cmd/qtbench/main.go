@@ -1,0 +1,55 @@
+// Command qtbench regenerates the paper's evaluation: every table and
+// figure (reconstructed per DESIGN.md) at quick or full scale.
+//
+// Usage:
+//
+//	qtbench                 # all experiments, quick scale
+//	qtbench -full           # all experiments, paper scale (minutes)
+//	qtbench -exp F3 -exp T1 # a subset
+//	qtbench -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qtrade/internal/experiments"
+)
+
+type expFlags []string
+
+func (e *expFlags) String() string     { return strings.Join(*e, ",") }
+func (e *expFlags) Set(v string) error { *e = append(*e, strings.ToUpper(v)); return nil }
+
+func main() {
+	var exps expFlags
+	full := flag.Bool("full", false, "run at paper scale (minutes of runtime)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F9; default all")
+	flag.Parse()
+
+	var tables []*experiments.Table
+	if *full {
+		tables = experiments.Full(*seed)
+	} else {
+		tables = experiments.Quick(*seed)
+	}
+	want := map[string]bool{}
+	for _, e := range exps {
+		want[e] = true
+	}
+	printed := 0
+	for _, t := range tables {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		t.Fprint(os.Stdout)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, F1..F9)\n", exps)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command qtnode serves one autonomous federation node over TCP (net/rpc),
+// so a federation can run as separate processes instead of in-process
+// simulation. For demonstration it loads one office of the telco
+// customer-care scenario.
+//
+// Usage:
+//
+//	qtnode -id corfu -listen :7001 -offices Corfu,Myconos,Athens -office Corfu
+//
+// A buyer process can then dial each node with netsim.DialPeer and run the
+// same trading protocols used in simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+	"qtrade/internal/workload"
+)
+
+func main() {
+	id := flag.String("id", "corfu", "node id (also the RPC service name)")
+	listen := flag.String("listen", ":7001", "TCP listen address")
+	officesFlag := flag.String("offices", "Corfu,Myconos,Athens", "all offices of the federation schema")
+	office := flag.String("office", "Corfu", "the office whose customer partition this node holds")
+	customers := flag.Int("customers", 100, "customers per office")
+	lines := flag.Int("lines", 3, "invoice lines per customer")
+	invoices := flag.Bool("invoices", true, "hold a full invoiceline replica")
+	competitive := flag.Bool("competitive", false, "price with an adaptive profit margin instead of truthfully")
+	seed := flag.Int64("seed", 1, "data seed (must match across the federation)")
+	flag.Parse()
+
+	offices := strings.Split(*officesFlag, ",")
+	// Build the full deterministic dataset, then keep only this node's part
+	// (every process generates the same federation from the shared seed).
+	opts := workload.TelcoOptions{
+		Offices:            offices,
+		CustomersPerOffice: *customers,
+		LinesPerCustomer:   *lines,
+		Seed:               *seed,
+	}
+	fed := workload.NewTelco(opts)
+	src, ok := fed.Nodes[strings.ToLower(*office)]
+	if !ok {
+		log.Fatalf("qtnode: office %q not in %v", *office, offices)
+	}
+
+	var strat trading.SellerStrategy
+	if *competitive {
+		strat = trading.NewCompetitive()
+	}
+	n := node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat})
+	copyStore(src, n)
+	if !*invoices {
+		// Rebuild without the invoice replica: keep only customer data.
+		n = node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat})
+		copyTable(src, n, "customer")
+	}
+
+	ln, err := netsim.ServeRPC(*listen, *id, n)
+	if err != nil {
+		log.Fatalf("qtnode: %v", err)
+	}
+	fmt.Printf("qtnode %s serving office %s on %s (tables: %v)\n",
+		*id, *office, ln.Addr(), n.Store().Tables())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = ln.Close()
+}
+
+func copyStore(src, dst *node.Node) {
+	for _, table := range src.Store().Tables() {
+		copyTable(src, dst, table)
+	}
+}
+
+func copyTable(src, dst *node.Node, table string) {
+	def, ok := src.Schema().Table(table)
+	if !ok {
+		return
+	}
+	for _, pid := range src.Store().PartIDs(table) {
+		if _, err := dst.Store().CreateFragment(def, pid); err != nil {
+			log.Fatalf("qtnode: %v", err)
+		}
+		var rows []value.Row
+		if err := src.Store().Scan(table, pid, nil, func(r value.Row) bool {
+			rows = append(rows, r)
+			return true
+		}); err != nil {
+			log.Fatalf("qtnode: %v", err)
+		}
+		if err := dst.Store().Insert(table, pid, rows...); err != nil {
+			log.Fatalf("qtnode: %v", err)
+		}
+	}
+}

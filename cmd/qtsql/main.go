@@ -1,0 +1,193 @@
+// Command qtsql is an interactive shell over a query-trading federation:
+// type SQL, get the trading-optimized distributed plan and its answer.
+//
+// By default it simulates a telco federation in-process. With -connect it
+// becomes the buyer of a real multi-process federation served by qtnode:
+//
+//	qtnode -id corfu -listen :7001 -office Corfu &
+//	qtnode -id myconos -listen :7002 -office Myconos &
+//	qtsql -connect corfu=localhost:7001,myconos=localhost:7002
+//
+// Commands: EXPLAIN <query>, \stats, \nodes, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"qtrade/internal/core"
+	"qtrade/internal/exec"
+	"qtrade/internal/netsim"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+	"qtrade/internal/workload"
+)
+
+func main() {
+	customers := flag.Int("customers", 50, "customers per office")
+	offices := flag.String("offices", "Corfu,Myconos,Athens", "federation offices")
+	connect := flag.String("connect", "", "comma-separated id=addr pairs of qtnode servers; empty = in-process simulation")
+	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*offices, *connect)
+		return
+	}
+
+	f := workload.NewTelco(workload.TelcoOptions{
+		Offices:            strings.Split(*offices, ","),
+		CustomersPerOffice: *customers,
+		Seed:               1,
+	})
+	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
+	fmt.Println(`type SQL, "EXPLAIN <sql>", "\stats", "\nodes" or "\quit"`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("qtsql> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\stats`:
+			msgs, bytes := f.Net.Stats()
+			fmt.Printf("network: %d messages, %d bytes\n", msgs, bytes)
+			continue
+		case line == `\nodes`:
+			ids := make([]string, 0, len(f.Nodes))
+			for id := range f.Nodes {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				n := f.Nodes[id]
+				fmt.Printf("  %-10s tables=%v\n", id, n.Store().Tables())
+			}
+			continue
+		}
+		explainOnly := false
+		sql := line
+		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ") {
+			explainOnly = true
+			sql = strings.TrimSpace(line[len("EXPLAIN "):])
+		}
+		res, err := f.Optimize(f.BuyerConfig(), sql)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Print(core.ExplainResult(res))
+		if explainOnly {
+			continue
+		}
+		ex := &exec.Executor{Store: f.Nodes[f.Buyer].Store()}
+		out, err := core.ExecuteResult(f.Comm(), ex, res)
+		if err != nil {
+			fmt.Printf("execution error: %v\n", err)
+			continue
+		}
+		printResult(out)
+	}
+}
+
+// runRemote drives a federation of qtnode processes over net/rpc.
+func runRemote(offices, connect string) {
+	sch := workload.TelcoSchema(strings.Split(offices, ","))
+	peers := map[string]trading.Peer{}
+	rpcPeers := map[string]*netsim.RPCPeer{}
+	for _, pair := range strings.Split(connect, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			log.Fatalf("qtsql: bad -connect entry %q (want id=addr)", pair)
+		}
+		p, err := netsim.DialPeer(addr, id)
+		if err != nil {
+			log.Fatalf("qtsql: dial %s (%s): %v", id, addr, err)
+		}
+		defer p.Close()
+		peers[id] = p
+		rpcPeers[id] = p
+		fmt.Printf("connected to %s at %s\n", id, addr)
+	}
+	comm := &core.PeerComm{
+		PeerMap: peers,
+		AwardFn: func(to string, aw trading.Award) error { return rpcPeers[to].Award(aw) },
+		FetchFn: func(to string, req trading.ExecReq) (trading.ExecResp, error) {
+			return rpcPeers[to].Execute(req)
+		},
+	}
+	fmt.Println(`type SQL, "EXPLAIN <sql>" or "\quit"`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("qtsql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == `\q` {
+			return
+		}
+		explainOnly := false
+		sql := line
+		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ") {
+			explainOnly = true
+			sql = strings.TrimSpace(line[len("EXPLAIN "):])
+		}
+		res, err := core.Optimize(core.Config{ID: "qtsql", Schema: sch}, comm, sql)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Print(core.ExplainResult(res))
+		if explainOnly {
+			continue
+		}
+		out, err := core.ExecuteResult(comm, &exec.Executor{}, res)
+		if err != nil {
+			fmt.Printf("execution error: %v\n", err)
+			continue
+		}
+		printResult(out)
+	}
+}
+
+func printResult(res *exec.Result) {
+	header := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		header[i] = c.Name
+		if c.Table != "" {
+			header[i] = c.Table + "." + c.Name
+		}
+	}
+	fmt.Println(strings.Join(header, " | "))
+	for _, r := range res.Rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = renderValue(v)
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func renderValue(v value.Value) string {
+	if v.K == value.Str {
+		return v.S
+	}
+	return v.String()
+}

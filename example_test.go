@@ -1,0 +1,65 @@
+package qtrade_test
+
+import (
+	"fmt"
+
+	"qtrade"
+)
+
+// Example reproduces the paper's motivating scenario: a manager at a
+// data-less HQ node asks for the total issued bills of two island offices;
+// the answer is negotiated from the autonomous office nodes.
+func Example() {
+	sch := qtrade.NewSchema()
+	sch.MustTable("customer",
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("custname", qtrade.Str),
+		qtrade.Col("office", qtrade.Str))
+	sch.MustTable("invoiceline",
+		qtrade.Col("invid", qtrade.Int),
+		qtrade.Col("linenum", qtrade.Int),
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("charge", qtrade.Float))
+	sch.MustPartition("customer",
+		qtrade.Part("corfu", "office = 'Corfu'"),
+		qtrade.Part("myconos", "office = 'Myconos'"))
+
+	fed := qtrade.NewFederation(sch)
+	corfu := fed.MustAddNode("corfu")
+	corfu.MustCreateFragment("customer", "corfu")
+	corfu.MustInsert("customer", "corfu",
+		qtrade.Row(1, "alice", "Corfu"),
+		qtrade.Row(2, "bob", "Corfu"))
+	corfu.MustCreateFragment("invoiceline", "p0")
+
+	myconos := fed.MustAddNode("myconos")
+	myconos.MustCreateFragment("customer", "myconos")
+	myconos.MustInsert("customer", "myconos",
+		qtrade.Row(3, "carol", "Myconos"))
+	myconos.MustCreateFragment("invoiceline", "p0")
+
+	lines := [][]any{
+		{100, 1, 1, 30.0}, {101, 1, 2, 12.0}, {102, 1, 3, 58.0},
+	}
+	for _, l := range lines {
+		corfu.MustInsert("invoiceline", "p0", qtrade.Row(l...))
+		myconos.MustInsert("invoiceline", "p0", qtrade.Row(l...))
+	}
+	fed.MustAddNode("hq")
+
+	res, err := fed.Query("hq", `
+		SELECT c.office, SUM(i.charge) AS total
+		FROM customer c, invoiceline i
+		WHERE c.custid = i.custid AND c.office IN ('Corfu', 'Myconos')
+		GROUP BY c.office ORDER BY c.office`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s: %.0f\n", row[0], row[1])
+	}
+	// Output:
+	// Corfu: 42
+	// Myconos: 58
+}

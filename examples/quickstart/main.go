@@ -1,0 +1,80 @@
+// Quickstart: a three-node federation answering the paper's motivating
+// query. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qtrade"
+)
+
+func main() {
+	// 1. The public logical schema: customer is horizontally partitioned by
+	// office; invoiceline is a single (replicatable) fragment.
+	sch := qtrade.NewSchema()
+	sch.MustTable("customer",
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("custname", qtrade.Str),
+		qtrade.Col("office", qtrade.Str))
+	sch.MustTable("invoiceline",
+		qtrade.Col("invid", qtrade.Int),
+		qtrade.Col("linenum", qtrade.Int),
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("charge", qtrade.Float))
+	sch.MustPartition("customer",
+		qtrade.Part("corfu", "office = 'Corfu'"),
+		qtrade.Part("myconos", "office = 'Myconos'"))
+
+	// 2. Autonomous nodes: each island office holds its own customers plus
+	// an invoice replica. Nobody shares statistics or placement — only the
+	// schema is public.
+	fed := qtrade.NewFederation(sch)
+	load := func(id string, customers [][]any) {
+		n := fed.MustAddNode(id)
+		n.MustCreateFragment("customer", id)
+		for _, c := range customers {
+			n.MustInsert("customer", id, qtrade.Row(c...))
+		}
+		n.MustCreateFragment("invoiceline", "p0")
+		lines := [][]any{
+			{100, 1, 1, 10.0}, {100, 2, 1, 5.0}, {101, 1, 2, 7.0},
+			{102, 1, 3, 20.0}, {103, 1, 4, 2.0},
+		}
+		for _, l := range lines {
+			n.MustInsert("invoiceline", "p0", qtrade.Row(l...))
+		}
+	}
+	load("corfu", [][]any{{1, "alice", "Corfu"}, {2, "bob", "Corfu"}})
+	load("myconos", [][]any{{3, "carol", "Myconos"}, {4, "dave", "Myconos"}})
+	fed.MustAddNode("hq") // the buyer: a manager's node with no data
+
+	// 3. Optimize by trading: hq requests bids, the islands offer priced
+	// partial answers, the cheapest combination wins.
+	plan, err := fed.Optimize("hq", `
+		SELECT c.office, SUM(i.charge) AS total
+		FROM customer c, invoiceline i
+		WHERE c.custid = i.custid AND c.office IN ('Corfu', 'Myconos')
+		GROUP BY c.office ORDER BY c.office`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distributed plan bought through trading:")
+	fmt.Print(plan.Explain())
+	for _, p := range plan.Purchases() {
+		fmt.Printf("  bought from %-8s for %6.2f: %s\n", p.Seller, p.Price, p.SQL)
+	}
+
+	// 4. Execute: only now does data move.
+	res, err := plan.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nanswer:")
+	fmt.Println(res.Columns)
+	for _, r := range res.Rows {
+		fmt.Println(r)
+	}
+	msgs, bytes := fed.NetworkStats()
+	fmt.Printf("\nnetwork: %d messages, %d bytes\n", msgs, bytes)
+}

@@ -1,0 +1,95 @@
+// Views: the seller predicates analyser (§3.5) in action. A node that keeps
+// a materialized per-customer totals view offers it at a fraction of the
+// cost of recomputing the join, and the buyer's plan generator picks it —
+// the paper's data-warehouse/OLAP motivation for view-based offers.
+// Run with: go run ./examples/views
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qtrade"
+	"qtrade/internal/value"
+)
+
+func main() {
+	sch := qtrade.NewSchema()
+	sch.MustTable("customer",
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("office", qtrade.Str))
+	sch.MustTable("invoiceline",
+		qtrade.Col("invid", qtrade.Int),
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("charge", qtrade.Float))
+
+	fed := qtrade.NewFederation(sch)
+	warehouse := fed.MustAddNode("warehouse")
+	warehouse.MustCreateFragment("customer", "p0")
+	warehouse.MustCreateFragment("invoiceline", "p0")
+
+	offices := []string{"Corfu", "Myconos", "Athens"}
+	type key struct {
+		office string
+		cust   int64
+	}
+	totals := map[key]float64{}
+	invid := int64(0)
+	for c := int64(1); c <= 500; c++ {
+		office := offices[int(c)%len(offices)]
+		warehouse.MustInsert("customer", "p0", qtrade.Row(c, office))
+		for l := int64(0); l < 4; l++ {
+			invid++
+			charge := float64((c*13+l*7)%200) + 1
+			warehouse.MustInsert("invoiceline", "p0", qtrade.Row(invid, c, charge))
+			totals[key{office, c}] += charge
+		}
+	}
+
+	// The warehouse maintains a per-(office, customer) totals view — finer
+	// grained than the analyst's query, so the matcher must roll it up.
+	viewDef := `SELECT c.office, c.custid, SUM(i.charge) AS total
+		FROM customer c, invoiceline i WHERE c.custid = i.custid
+		GROUP BY c.office, c.custid`
+	viewCols := []qtrade.Column{
+		qtrade.Col("office", qtrade.Str),
+		qtrade.Col("custid", qtrade.Int),
+		qtrade.Col("total", qtrade.Float),
+	}
+	var viewRows [][]value.Value
+	for k, total := range totals {
+		viewRows = append(viewRows, qtrade.Row(k.office, k.cust, total))
+	}
+	if err := warehouse.AddView("officetotals", viewDef, viewCols, viewRows...); err != nil {
+		log.Fatal(err)
+	}
+	fed.MustAddNode("analyst")
+
+	query := `SELECT c.office, SUM(i.charge) AS total
+		FROM customer c, invoiceline i
+		WHERE c.custid = i.custid GROUP BY c.office ORDER BY c.office`
+
+	fmt.Println("== trading with the materialized view on offer ==")
+	plan, err := fed.Optimize("analyst", query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Explain())
+	usedView := false
+	for _, p := range plan.Purchases() {
+		if strings.Contains(p.SQL, "officetotals") {
+			usedView = true
+		}
+	}
+	fmt.Printf("view offer won: %v\n\n", usedView)
+
+	res, err := plan.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, r := range res.Rows {
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,3 @@
+module qtrade
+
+go 1.22

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+
+	"qtrade/internal/plan"
+	"qtrade/internal/trading"
+)
+
+// partialAggCandidates builds plans from partial-aggregate offers (aggregate
+// pushdown): each offer delivers per-group totals of a disjoint fragment
+// set; the buyer unions them and merges with combining aggregates. Only
+// offers covering the query's full relation set qualify, and coverage must
+// be exact along exactly one partitioned binding (the same rule as raw
+// unions — disjointness is what makes SUM-of-SUMs sound).
+func (g *planGen) partialAggCandidates() []Candidate {
+	if !g.hasAgg {
+		return nil
+	}
+	d, ok := plan.DecomposeAggregates(g.sel)
+	if !ok {
+		return nil
+	}
+	full := uint(1)<<len(g.bindings) - 1
+	var usable []*offerInfo
+	for _, info := range g.offers {
+		if info.partialAgg && info.mask == full {
+			usable = append(usable, info)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+
+	var assemblies []*assembly
+	// Single offers covering everything.
+	for _, info := range usable {
+		covers := true
+		for _, b := range info.bindings {
+			if !info.fullIn(g, b) {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			assemblies = append(assemblies, &assembly{
+				node:      info.remote(),
+				schema:    info.schema,
+				remoteMax: info.o.Props.TotalTime,
+				remoteSum: info.o.Props.TotalTime,
+				rows:      info.o.Props.Rows,
+				bytes:     info.o.Props.Bytes,
+				offers:    []trading.Offer{info.o},
+			})
+		}
+	}
+	// Exact-coverage unions along one binding, per schema signature.
+	for _, b := range g.bindings {
+		if bitsCount(g.fullMask[b]) < 2 {
+			continue
+		}
+		bySig := map[string][]*offerInfo{}
+		for _, info := range usable {
+			good := info.partMask[b] != 0
+			for _, ob := range info.bindings {
+				if ob != b {
+					if !info.fullIn(g, ob) {
+						good = false
+						break
+					}
+				}
+			}
+			if good {
+				bySig[info.sig] = append(bySig[info.sig], info)
+			}
+		}
+		for _, group := range bySig {
+			if a := g.exactCover(b, group); a != nil {
+				assemblies = append(assemblies, a)
+			}
+		}
+	}
+
+	var out []Candidate
+	for _, a := range assemblies {
+		root, err := d.BuildMergePlan(g.sel, a.node)
+		if err != nil {
+			continue
+		}
+		groups := a.rows/2 + 1
+		if len(g.sel.GroupBy) == 0 {
+			groups = 1
+		}
+		local := a.localCost + g.model.Aggregate(a.rows, groups)
+		if len(g.sel.OrderBy) > 0 {
+			local += g.model.Sort(groups)
+		}
+		out = append(out, Candidate{
+			Root:          root,
+			ResponseTime:  a.remoteMax + local,
+			TotalWork:     a.remoteSum + local,
+			Rows:          groups,
+			Offers:        a.offers,
+			UnionBindings: dedupStrings(a.unions),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ResponseTime < out[j].ResponseTime })
+	return out
+}
+
+func bitsCount(m uint) int {
+	c := 0
+	for m != 0 {
+		m &= m - 1
+		c++
+	}
+	return c
+}

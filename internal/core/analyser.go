@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/expr"
+	"qtrade/internal/localopt"
+	"qtrade/internal/rewrite"
+	"qtrade/internal/sqlparse"
+)
+
+// Analyse is the buyer predicates analyser (§3.7): it inspects the candidate
+// execution plans and derives additional queries worth asking for in the
+// next iteration of the trading loop.
+//
+// Two families of queries are generated:
+//
+//   - join subqueries: for every binding subset a candidate joined locally,
+//     the corresponding subquery is added to Q so sellers can bid on the join
+//     itself (a seller co-located with both sides evaluates it far cheaper
+//     than the buyer can join two shipped answers);
+//
+//   - partition-restricted subqueries: for every binding whose extent a
+//     candidate assembled by unioning several offers, one subquery per
+//     relevant partition is added (the paper's redundancy-elimination
+//     example: restricting overlapping offered extents so cheaper,
+//     non-redundant offers can replace them).
+//
+// Queries whose canonical SQL was already asked are skipped; at most maxNew
+// queries are returned.
+func Analyse(sel *sqlparse.Select, sch *catalog.Schema, cands []Candidate, asked map[string]bool, maxNew int) []string {
+	if maxNew <= 0 {
+		maxNew = 12
+	}
+	var out []string
+	add := func(sub *sqlparse.Select) {
+		if sub == nil || len(out) >= maxNew {
+			return
+		}
+		sql := sub.SQL()
+		if asked[sql] {
+			return
+		}
+		asked[sql] = true
+		out = append(out, sql)
+	}
+
+	for _, c := range cands {
+		for _, subset := range c.JoinSubsets {
+			if len(subset) < 2 || len(subset) >= len(sel.From) {
+				continue // singles are implied; the full set is the query itself
+			}
+			add(localopt.SubqueryFor(sel, subset))
+		}
+	}
+	for _, c := range cands {
+		for _, b := range c.UnionBindings {
+			tr := sel.FindFrom(b)
+			if tr == nil {
+				continue
+			}
+			base := localopt.SubqueryFor(sel, []string{tr.Binding()})
+			pred := singleBindingPred(sel, b)
+			for _, pid := range rewrite.RelevantPartitions(sch, tr.Name, pred) {
+				p, ok := sch.Partition(tr.Name, pid)
+				if !ok || p.Predicate == nil {
+					continue
+				}
+				restricted := base.Clone()
+				restriction := qualifyFor(p.Predicate, tr.Binding())
+				restricted.Where = expr.SimplifyPredicate(expr.And([]expr.Expr{restricted.Where, restriction}))
+				add(restricted)
+			}
+		}
+	}
+	return out
+}
+
+// singleBindingPred extracts the conjunction of predicates referencing only
+// the given binding.
+func singleBindingPred(sel *sqlparse.Select, binding string) expr.Expr {
+	var conj []expr.Expr
+	for _, c := range expr.Conjuncts(sel.Where) {
+		only := true
+		any := false
+		for _, col := range expr.Columns(c) {
+			if strings.EqualFold(col.Table, binding) {
+				any = true
+			} else {
+				only = false
+				break
+			}
+		}
+		if only && any {
+			conj = append(conj, expr.Clone(c))
+		}
+	}
+	return expr.And(conj)
+}
+
+// qualifyFor attaches the binding qualifier to bare columns of a partition
+// predicate.
+func qualifyFor(e expr.Expr, binding string) expr.Expr {
+	return expr.Transform(expr.Clone(e), func(n expr.Expr) expr.Expr {
+		if c, ok := n.(*expr.Column); ok && c.Table == "" {
+			return &expr.Column{Table: binding, Name: c.Name, Index: -1}
+		}
+		return n
+	})
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/cost"
+	"qtrade/internal/exec"
+	"qtrade/internal/expr"
+	"qtrade/internal/plan"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/trading"
+)
+
+// Comm is the buyer's communication surface: negotiate through Peers, notify
+// winners through Award, and fetch purchased answers through Fetch at
+// execution time.
+type Comm interface {
+	Peers() map[string]trading.Peer
+	Award(to string, aw trading.Award) error
+	Fetch(to string, req trading.ExecReq) (trading.ExecResp, error)
+}
+
+// LocalSeller lets the buyer fold its own node's offers into the pool (a
+// node outsources a query only when some remote offer beats local
+// execution). node.Node satisfies it.
+type LocalSeller interface {
+	RequestBids(trading.RFB) ([]trading.Offer, error)
+}
+
+// Config configures the buyer side of the QT optimizer.
+type Config struct {
+	ID     string
+	Schema *catalog.Schema
+	Cost   *cost.Model  // nil = cost.Default()
+	Weight cost.Weights // zero = cost.DefaultWeights()
+	// Protocol is the nested negotiation of steps B2/B3/S3; nil = SealedBid.
+	Protocol trading.Protocol
+	// Mode selects the buyer plan generator; empty = GenDP. IDPKeep is the
+	// M of IDP-M(2, M); 0 = 5.
+	Mode    PlanGenMode
+	IDPKeep int
+	// MaxIterations bounds the trading loop; 0 = 5.
+	MaxIterations int
+	// MaxNewQueries bounds the predicates analyser output per iteration;
+	// 0 = 12.
+	MaxNewQueries int
+	// Strategy produces the buyer's value estimates (B1); nil = anchored.
+	Strategy trading.BuyerStrategy
+	// Self contributes the buyer's own offers at zero network cost.
+	Self LocalSeller
+	// OnIteration, when set, observes each trading iteration: the iteration
+	// number, the best candidate value so far and the offer pool size (used
+	// by the convergence experiment).
+	OnIteration func(iter int, bestValue float64, poolSize int)
+	// ExcludeSellers drops the named peers from the negotiation (used by
+	// execution-time recovery to re-optimize around a failed seller).
+	ExcludeSellers map[string]bool
+	// PeerLatency, when set, returns the buyer's measured one-way latency
+	// to a seller in cost-model time units. Sellers price delivery with
+	// their own network constants; the buyer corrects each offer's total
+	// time with its private knowledge of the path, so nearby replicas win
+	// over far ones in heterogeneous (WAN) federations.
+	PeerLatency func(sellerID string) float64
+}
+
+// Stats reports what one optimization cost.
+type Stats struct {
+	Iterations     int
+	RFBsSent       int
+	OffersReceived int
+	PoolSize       int
+	ProtocolRounds int
+	QueriesAsked   int
+	Improvements   int
+	WallTime       time.Duration
+}
+
+// Result is the outcome of a QT optimization: the winning candidate plan and
+// the offers it purchases.
+type Result struct {
+	SQL       string
+	Candidate Candidate
+	Stats     Stats
+}
+
+var rfbSeq atomic.Int64
+
+// partsKey canonicalizes an offer's coverage for pool deduplication (the
+// same SQL may be offered with different coverage, e.g. a partial and its
+// subcontracted completion).
+func partsKey(o trading.Offer) string {
+	keys := make([]string, 0, len(o.Parts))
+	for b, ps := range o.Parts {
+		sorted := append([]string(nil), ps...)
+		sort.Strings(sorted)
+		keys = append(keys, b+"="+strings.Join(sorted, ","))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// Optimize runs the full iterative QT algorithm (steps B1–B8 of Figure 2)
+// for the given SQL text and returns the best distributed plan found.
+// Nothing is executed; call ExecuteResult with the returned plan to fetch
+// the purchased answers and produce rows.
+func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
+	start := time.Now()
+	if cfg.Cost == nil {
+		cfg.Cost = cost.Default()
+	}
+	if (cfg.Weight == cost.Weights{}) {
+		cfg.Weight = cost.DefaultWeights()
+	}
+	if cfg.Protocol == nil {
+		cfg.Protocol = trading.SealedBid{}
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = GenDP
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 5
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = trading.AnchoredBuyer{}
+	}
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	plan.Qualify(sel, cfg.Schema)
+
+	stats := Stats{}
+	pool := map[string]trading.Offer{} // seller+sql -> cheapest offer
+	bestPrice := map[string]float64{}  // qid -> best price seen
+	asked := map[string]bool{}
+	queries := []trading.QueryRequest{{QID: "q0", SQL: sel.SQL()}}
+	asked[sel.SQL()] = true
+	qSeq := 0
+
+	var best *Candidate
+	peers := comm.Peers()
+	for id := range cfg.ExcludeSellers {
+		delete(peers, id)
+	}
+
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		stats.Iterations = iter
+		// B1: strategic value estimates for the queries in Q.
+		for i := range queries {
+			queries[i].EstValue = cfg.Strategy.Estimate(queries[i].QID, bestPrice[queries[i].QID])
+		}
+		// B2/B3 + S1–S3: the nested negotiation.
+		rfb := trading.RFB{
+			RFBID:   fmt.Sprintf("%s-rfb%d", cfg.ID, rfbSeq.Add(1)),
+			BuyerID: cfg.ID,
+			Queries: queries,
+		}
+		stats.RFBsSent += len(peers)
+		offers, rounds, err := cfg.Protocol.Collect(rfb, peers)
+		if err != nil {
+			return nil, fmt.Errorf("core: negotiation failed: %w", err)
+		}
+		stats.ProtocolRounds += rounds
+		if cfg.Self != nil {
+			own, err := cfg.Self.RequestBids(rfb)
+			if err == nil {
+				offers = append(offers, own...)
+			}
+		}
+		stats.OffersReceived += len(offers)
+		for _, o := range offers {
+			key := o.SellerID + "\x00" + o.SQL + "\x00" + partsKey(o)
+			if prev, ok := pool[key]; !ok || o.Price < prev.Price {
+				pool[key] = o
+			}
+			if b, ok := bestPrice[o.QID]; !ok || o.Price < b {
+				bestPrice[o.QID] = o.Price
+			}
+		}
+
+		// B4: candidate plan generation from the standing pool, in
+		// deterministic order so equal-cost ties break reproducibly.
+		poolList := make([]trading.Offer, 0, len(pool))
+		for _, o := range pool {
+			poolList = append(poolList, o)
+		}
+		sort.Slice(poolList, func(i, j int) bool { return poolList[i].OfferID < poolList[j].OfferID })
+		cands, err := GenerateWithLatency(sel, cfg.Schema, cfg.Cost, cfg.Mode, cfg.IDPKeep, poolList, cfg.PeerLatency)
+		if err != nil {
+			if iter == 1 {
+				// The paper: abort when the first iteration yields no
+				// candidate plan at all.
+				return nil, fmt.Errorf("core: no distributed plan possible: %w", err)
+			}
+			break
+		}
+		newBest := cands[0]
+		improved := best == nil || ValueOf(cfg.Weight, &newBest) < ValueOf(cfg.Weight, best)*(1-1e-9)
+		if improved {
+			b := newBest
+			best = &b
+			stats.Improvements++
+		}
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(iter, ValueOf(cfg.Weight, best), len(pool))
+		}
+
+		// B5/B6: the predicates analyser proposes the next round's queries.
+		topK := cands
+		if len(topK) > 3 {
+			topK = topK[:3]
+		}
+		newSQLs := Analyse(sel, cfg.Schema, topK, asked, cfg.MaxNewQueries)
+		// B7: terminate when neither the plan nor Q changed.
+		if !improved && len(newSQLs) == 0 {
+			break
+		}
+		if len(newSQLs) == 0 && iter > 1 && !improved {
+			break
+		}
+		for _, s := range newSQLs {
+			qSeq++
+			queries = append(queries, trading.QueryRequest{QID: fmt.Sprintf("q%d", qSeq), SQL: s})
+		}
+		stats.QueriesAsked = len(queries)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: optimization produced no plan")
+	}
+
+	// B8: award the winning offers.
+	for _, o := range best.Offers {
+		if o.SellerID == cfg.ID {
+			continue // own offers need no award message
+		}
+		_ = comm.Award(o.SellerID, trading.Award{RFBID: o.RFBID, OfferID: o.OfferID, BuyerID: cfg.ID})
+	}
+	stats.PoolSize = len(pool)
+	stats.WallTime = time.Since(start)
+	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats}, nil
+}
+
+// ExecuteResult runs the winning plan: Remote leaves are fetched from their
+// sellers through comm, local operators run on the buyer's executor. store
+// may be nil when the plan has no local scans.
+func ExecuteResult(comm Comm, localExec *exec.Executor, res *Result) (*exec.Result, error) {
+	ex := &exec.Executor{}
+	if localExec != nil {
+		ex.Store = localExec.Store
+	}
+	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
+		resp, err := comm.Fetch(nodeID, trading.ExecReq{SQL: sql, OfferID: offerID})
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]expr.ColumnID, len(resp.Cols))
+		for i, c := range resp.Cols {
+			cols[i] = expr.ColumnID{Table: c.Table, Name: c.Name}
+		}
+		return &exec.Result{Cols: cols, Rows: resp.Rows}, nil
+	}
+	return ex.Run(res.Candidate.Root)
+}
+
+// ExplainResult renders the winning plan and its purchases.
+func ExplainResult(res *Result) string {
+	out := fmt.Sprintf("-- response time %.2f ms, total work %.2f ms, %d offers purchased\n",
+		res.Candidate.ResponseTime, res.Candidate.TotalWork, len(res.Candidate.Offers))
+	return out + plan.Explain(res.Candidate.Root)
+}

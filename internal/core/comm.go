@@ -1,0 +1,50 @@
+package core
+
+import (
+	"qtrade/internal/netsim"
+	"qtrade/internal/trading"
+)
+
+// NetComm adapts a netsim.Network into the buyer's Comm surface, with full
+// message accounting.
+type NetComm struct {
+	Net    *netsim.Network
+	SelfID string
+}
+
+// Peers implements Comm.
+func (c *NetComm) Peers() map[string]trading.Peer { return c.Net.Peers(c.SelfID) }
+
+// Award implements Comm.
+func (c *NetComm) Award(to string, aw trading.Award) error {
+	return c.Net.Award(c.SelfID, to, aw)
+}
+
+// Fetch implements Comm.
+func (c *NetComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, error) {
+	return c.Net.Execute(c.SelfID, to, req)
+}
+
+// PeerComm adapts an arbitrary set of peers (e.g. netsim.RPCPeer connections
+// to qtnode processes) into the buyer's Comm surface.
+type PeerComm struct {
+	PeerMap map[string]trading.Peer
+	AwardFn func(to string, aw trading.Award) error
+	FetchFn func(to string, req trading.ExecReq) (trading.ExecResp, error)
+}
+
+// Peers implements Comm.
+func (c *PeerComm) Peers() map[string]trading.Peer { return c.PeerMap }
+
+// Award implements Comm.
+func (c *PeerComm) Award(to string, aw trading.Award) error {
+	if c.AwardFn == nil {
+		return nil
+	}
+	return c.AwardFn(to, aw)
+}
+
+// Fetch implements Comm.
+func (c *PeerComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, error) {
+	return c.FetchFn(to, req)
+}

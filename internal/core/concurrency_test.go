@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/trading"
+)
+
+// TestConcurrentBuyers has several buyers negotiate and execute against the
+// same sellers simultaneously — sellers must keep per-RFB standing offers
+// and strategy state consistent under concurrency (run with -race).
+func TestConcurrentBuyers(t *testing.T) {
+	f := buildFederation(t, func() trading.SellerStrategy { return trading.NewCompetitive() })
+	want := oracle(t, f.sch, paperQuery)
+
+	const buyers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, buyers)
+	for b := 0; b < buyers; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			comm := &NetComm{Net: f.net, SelfID: "athens"}
+			cfg := athensCfg(f)
+			cfg.Protocol = trading.IterativeBid{MaxRounds: 3}
+			res, err := Optimize(cfg, comm, paperQuery)
+			if err != nil {
+				errs <- err
+				return
+			}
+			out, err := ExecuteResult(comm, &exec.Executor{Store: f.athens.Store()}, res)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got := rowsKey(out.Rows)
+			if strings.Join(got, "|") != strings.Join(want, "|") {
+				errs <- &mismatchError{got: got, want: want}
+			}
+		}(b)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ got, want []string }
+
+func (e *mismatchError) Error() string {
+	return "concurrent buyer got wrong answer"
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"qtrade/internal/trading"
+)
+
+// noFetchComm fails the test if optimization ever triggers an execution
+// fetch — the paper's core invariant: "no query or part of it is physically
+// executed during the whole optimization procedure".
+type noFetchComm struct {
+	inner Comm
+	t     *testing.T
+}
+
+func (c *noFetchComm) Peers() map[string]trading.Peer { return c.inner.Peers() }
+
+func (c *noFetchComm) Award(to string, aw trading.Award) error { return c.inner.Award(to, aw) }
+
+func (c *noFetchComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, error) {
+	c.t.Fatalf("optimization executed a query at %s: %s", to, req.SQL)
+	return trading.ExecResp{}, nil
+}
+
+func TestNoExecutionDuringOptimization(t *testing.T) {
+	f := buildFederation(t, nil)
+	comm := &noFetchComm{inner: &NetComm{Net: f.net, SelfID: "athens"}, t: t}
+	for _, q := range []string{
+		paperQuery,
+		"SELECT c.custname FROM customer c WHERE c.office = 'Corfu'",
+		"SELECT c.custname, i.charge FROM customer c, invoiceline i WHERE c.custid = i.custid",
+	} {
+		cfg := athensCfg(f)
+		cfg.MaxIterations = 4
+		if _, err := Optimize(cfg, comm, q); err != nil {
+			t.Fatalf("optimize %q: %v", q, err)
+		}
+	}
+	// The same holds under every negotiation protocol.
+	for _, p := range []trading.Protocol{trading.IterativeBid{MaxRounds: 4}, trading.Bargain{MaxRounds: 4}} {
+		cfg := athensCfg(f)
+		cfg.Protocol = p
+		if _, err := Optimize(cfg, comm, paperQuery); err != nil {
+			t.Fatalf("optimize under %s: %v", p.Name(), err)
+		}
+	}
+}

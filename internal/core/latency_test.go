@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/value"
+)
+
+// TestBuyerPrefersNearbyReplica: two sellers replicate identical data; the
+// buyer's private latency knowledge must route the purchase to the near one.
+func TestBuyerPrefersNearbyReplica(t *testing.T) {
+	sch := catalog.NewSchema()
+	sch.MustAddTable(&catalog.TableDef{Name: "t", Columns: []catalog.ColumnDef{
+		{Name: "x", Kind: value.Int},
+	}})
+	net := netsim.New()
+	for _, id := range []string{"near", "far"} {
+		n := node.New(node.Config{ID: id, Schema: sch})
+		def, _ := sch.Table("t")
+		if _, err := n.Store().CreateFragment(def, "p0"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if err := n.Store().Insert("t", "p0", value.Row{value.NewInt(int64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Register(id, n)
+	}
+	comm := &NetComm{Net: net, SelfID: "buyer"}
+	cfg := Config{
+		ID: "buyer", Schema: sch,
+		PeerLatency: func(seller string) float64 {
+			if seller == "far" {
+				return 80 // WAN hop
+			}
+			return 0.5
+		},
+	}
+	res, err := Optimize(cfg, comm, "SELECT t.x FROM t WHERE t.x < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidate.Offers) != 1 || res.Candidate.Offers[0].SellerID != "near" {
+		t.Fatalf("must buy from the near replica: %+v", res.Candidate.Offers)
+	}
+	// The latency correction is visible in the plan's response estimate.
+	if res.Candidate.ResponseTime < 1 {
+		t.Fatalf("response must include the round trip: %f", res.Candidate.ResponseTime)
+	}
+	// Without latency knowledge, the tie breaks arbitrarily but the answer
+	// stays correct.
+	cfg.PeerLatency = nil
+	if _, err := Optimize(cfg, comm, "SELECT t.x FROM t WHERE t.x < 10"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/cost"
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+)
+
+// fixedMargin always asks truth*(1+m), never improves.
+type fixedMargin struct{ m float64 }
+
+func (f fixedMargin) Price(_ string, truth float64) float64 { return truth * (1 + f.m) }
+func (f fixedMargin) Improve(_ string, cur, _, _ float64) (float64, bool) {
+	return cur, false
+}
+func (fixedMargin) Observe(string, bool) {}
+
+// TestEqualPlansCheaperSellerWins: two sellers replicate the same fragment
+// with identical data (identical delivery times); the one asking a lower
+// price must win the trade.
+func TestEqualPlansCheaperSellerWins(t *testing.T) {
+	sch := catalog.NewSchema()
+	sch.MustAddTable(&catalog.TableDef{Name: "t", Columns: []catalog.ColumnDef{
+		{Name: "x", Kind: value.Int},
+	}})
+	net := netsim.New()
+	mk := func(id string, margin float64) *node.Node {
+		n := node.New(node.Config{ID: id, Schema: sch, Strategy: fixedMargin{m: margin}})
+		def, _ := sch.Table("t")
+		if _, err := n.Store().CreateFragment(def, "p0"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := n.Store().Insert("t", "p0", value.Row{value.NewInt(int64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Register(id, n)
+		return n
+	}
+	mk("greedyseller", 0.9)
+	mk("fairseller", 0.1)
+
+	comm := &NetComm{Net: net, SelfID: "buyer"}
+	res, err := Optimize(Config{ID: "buyer", Schema: sch}, comm, "SELECT t.x FROM t WHERE t.x < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidate.Offers) != 1 || res.Candidate.Offers[0].SellerID != "fairseller" {
+		t.Fatalf("cheaper seller must win: %+v", res.Candidate.Offers)
+	}
+}
+
+// TestMoneyWeightedValuation: EstimateValuation exposes the paid sum so a
+// commercial weighting can trade time against spend.
+func TestMoneyWeightedValuation(t *testing.T) {
+	fast := &Candidate{
+		ResponseTime: 10,
+		Offers:       []trading.Offer{{Price: 100, Props: cost.Valuation{Freshness: 1}}},
+	}
+	slow := &Candidate{
+		ResponseTime: 20,
+		Offers:       []trading.Offer{{Price: 5, Props: cost.Valuation{Freshness: 1}}},
+	}
+	timeOnly := cost.DefaultWeights()
+	if ValueOf(timeOnly, fast) >= ValueOf(timeOnly, slow) {
+		t.Fatal("time-only weights must prefer the fast plan")
+	}
+	commercial := cost.Weights{TotalTime: 1, Money: 1}
+	if ValueOf(commercial, fast) <= ValueOf(commercial, slow) {
+		t.Fatal("money-weighted valuation must prefer the cheap plan")
+	}
+	v := EstimateValuation(fast)
+	if v.Money != 100 || v.Completeness != 1 {
+		t.Fatalf("valuation: %+v", v)
+	}
+}
+
+// TestFreshnessFlowsFromOffers: the stalest purchased component bounds the
+// candidate's freshness.
+func TestFreshnessFlowsFromOffers(t *testing.T) {
+	c := &Candidate{Offers: []trading.Offer{
+		{Props: cost.Valuation{Freshness: 1}},
+		{Props: cost.Valuation{Freshness: 0.4}},
+	}}
+	if got := EstimateValuation(c).Freshness; got != 0.4 {
+		t.Fatalf("freshness: %f", got)
+	}
+}

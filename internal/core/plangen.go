@@ -1,0 +1,814 @@
+// Package core implements the paper's primary contribution: the query-trading
+// (QT) optimizer. The buyer side runs the iterative algorithm of Figure 2
+// (steps B1–B8): it requests bids for a set Q of queries, turns the received
+// offers into distributed execution plans with the buyer plan generator
+// (answering-queries-using-views over offers: DP, IDP-M(2,5) or greedy), has
+// the buyer predicates analyser derive new queries worth asking for, and
+// repeats until the plan stops improving. No data moves until the final plan
+// is awarded and executed.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/cost"
+	"qtrade/internal/expr"
+	"qtrade/internal/plan"
+	"qtrade/internal/rewrite"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/trading"
+)
+
+// PlanGenMode selects the buyer plan generator algorithm (§3.6).
+type PlanGenMode string
+
+// The three implemented generators: full dynamic programming, the
+// IDP-M(2,5) variant the paper adopts from iterative dynamic programming,
+// and a greedy left-deep generator for very large queries.
+const (
+	GenDP     PlanGenMode = "dp"
+	GenIDP    PlanGenMode = "idp"
+	GenGreedy PlanGenMode = "greedy"
+)
+
+// Candidate is one distributed execution plan built from offers plus local
+// processing, with its estimated costs.
+type Candidate struct {
+	Root plan.Node
+	// ResponseTime models parallel delivery: slowest remote answer plus
+	// local processing. TotalWork sums all remote and local costs.
+	ResponseTime float64
+	TotalWork    float64
+	Rows         int64
+	Offers       []trading.Offer
+	// UnionBindings lists bindings whose extent was assembled by unioning
+	// several offers (input to the predicates analyser).
+	UnionBindings []string
+	// JoinSubsets lists the binding subsets joined locally (input to the
+	// predicates analyser).
+	JoinSubsets [][]string
+}
+
+// assembly is a way to produce the full relevant extent of a binding subset.
+type assembly struct {
+	node      plan.Node
+	schema    []expr.ColumnID
+	remoteMax float64
+	remoteSum float64
+	localCost float64
+	rows      int64
+	bytes     float64
+	offers    []trading.Offer
+	unions    []string
+	joins     [][]string
+}
+
+func (a *assembly) response() float64 { return a.remoteMax + a.localCost }
+func (a *assembly) work() float64     { return a.remoteSum + a.localCost }
+
+// paid sums the asked prices of the assembly's offers; it breaks cost ties
+// so the buyer never pays more for an equally fast plan.
+func (a *assembly) paid() float64 {
+	var p float64
+	for _, o := range a.offers {
+		p += o.Price
+	}
+	return p
+}
+
+// offerInfo is a pool offer decoded against the buyer's query.
+type offerInfo struct {
+	o        trading.Offer
+	bindings []string // lower-cased, sorted
+	mask     uint
+	// partMask is the bitmask of relevant partitions covered, per binding.
+	partMask   map[string]uint
+	schema     []expr.ColumnID
+	sig        string // schema signature for union compatibility
+	whole      bool   // complete aggregated (or view) answer to the full query
+	partialAgg bool   // per-fragment partial aggregates (merged, not unioned raw)
+}
+
+// planGen holds the per-query state of one plan-generation run.
+type planGen struct {
+	sel      *sqlparse.Select
+	sch      *catalog.Schema
+	model    *cost.Model
+	mode     PlanGenMode
+	keep     int // IDP-M keep width
+	bindings []string
+	bindIdx  map[string]int
+	relevant map[string][]string // binding -> relevant partition ids
+	partBit  map[string]map[string]uint
+	fullMask map[string]uint
+	joinPred []genJoinPred
+	offers   []*offerInfo
+	hasAgg   bool
+}
+
+type genJoinPred struct {
+	e    expr.Expr
+	mask uint
+}
+
+// Generate builds candidate plans for sel from the offer pool. It returns
+// candidates sorted by response time. See GenerateWithLatency for
+// heterogeneous-network buyers.
+func Generate(sel *sqlparse.Select, sch *catalog.Schema, model *cost.Model,
+	mode PlanGenMode, keep int, offers []trading.Offer) ([]Candidate, error) {
+	return GenerateWithLatency(sel, sch, model, mode, keep, offers, nil)
+}
+
+// GenerateWithLatency is Generate with a buyer-side latency correction: each
+// offer's delivery estimate is increased by the round trip to its seller
+// before plans are costed.
+func GenerateWithLatency(sel *sqlparse.Select, sch *catalog.Schema, model *cost.Model,
+	mode PlanGenMode, keep int, offers []trading.Offer, peerLatency func(string) float64) ([]Candidate, error) {
+
+	if peerLatency != nil {
+		adjusted := make([]trading.Offer, len(offers))
+		copy(adjusted, offers)
+		for i := range adjusted {
+			adjusted[i].Props.TotalTime += 2 * peerLatency(adjusted[i].SellerID)
+		}
+		offers = adjusted
+	}
+
+	g := &planGen{sel: sel, sch: sch, model: model, mode: mode, keep: keep,
+		bindIdx: map[string]int{}, relevant: map[string][]string{},
+		partBit: map[string]map[string]uint{}, fullMask: map[string]uint{}}
+	if g.keep <= 0 {
+		g.keep = 5
+	}
+	g.hasAgg = sel.HasAggregates() || len(sel.GroupBy) > 0
+	for i, tr := range sel.From {
+		b := strings.ToLower(tr.Binding())
+		g.bindings = append(g.bindings, b)
+		g.bindIdx[b] = i
+	}
+	if len(g.bindings) == 0 {
+		return nil, fmt.Errorf("core: query has no relations")
+	}
+	if len(g.bindings) > 16 {
+		return nil, fmt.Errorf("core: %d relations exceed plan generator limit", len(g.bindings))
+	}
+	g.computeRelevant()
+	g.classifyJoinPreds()
+	for i := range offers {
+		if info := g.decode(&offers[i]); info != nil {
+			g.offers = append(g.offers, info)
+		}
+	}
+	return g.run()
+}
+
+// computeRelevant prunes each binding's partitions against the query's
+// single-binding predicates.
+func (g *planGen) computeRelevant() {
+	perBinding := map[string][]expr.Expr{}
+	for _, c := range expr.Conjuncts(g.sel.Where) {
+		var owner string
+		single := true
+		for _, col := range expr.Columns(c) {
+			lt := strings.ToLower(col.Table)
+			if lt == "" {
+				single = false
+				break
+			}
+			if owner == "" {
+				owner = lt
+			} else if owner != lt {
+				single = false
+				break
+			}
+		}
+		if single && owner != "" {
+			perBinding[owner] = append(perBinding[owner], c)
+		}
+	}
+	for _, tr := range g.sel.From {
+		b := strings.ToLower(tr.Binding())
+		pred := expr.And(perBinding[b])
+		ids := rewrite.RelevantPartitions(g.sch, tr.Name, pred)
+		g.relevant[b] = ids
+		bitsOf := map[string]uint{}
+		var full uint
+		for i, id := range ids {
+			bitsOf[id] = 1 << i
+			full |= 1 << i
+		}
+		g.partBit[b] = bitsOf
+		g.fullMask[b] = full
+	}
+}
+
+func (g *planGen) classifyJoinPreds() {
+	for _, c := range expr.Conjuncts(g.sel.Where) {
+		var mask uint
+		for _, col := range expr.Columns(c) {
+			if idx, ok := g.bindIdx[strings.ToLower(col.Table)]; ok {
+				mask |= 1 << idx
+			}
+		}
+		if bits.OnesCount(mask) == 2 {
+			g.joinPred = append(g.joinPred, genJoinPred{e: c, mask: mask})
+		}
+	}
+}
+
+// decode validates an offer against the query and computes its coverage.
+func (g *planGen) decode(o *trading.Offer) *offerInfo {
+	info := &offerInfo{o: *o, partMask: map[string]uint{}}
+	for _, b := range o.Bindings {
+		lb := strings.ToLower(b)
+		idx, ok := g.bindIdx[lb]
+		if !ok {
+			return nil // not about this query's relations
+		}
+		info.mask |= 1 << idx
+		info.bindings = append(info.bindings, lb)
+		var m uint
+		for _, pid := range o.Parts[lb] {
+			m |= g.partBit[lb][pid] // irrelevant partitions contribute 0
+		}
+		info.partMask[lb] = m
+	}
+	sort.Strings(info.bindings)
+	info.schema = make([]expr.ColumnID, len(o.Cols))
+	var sig strings.Builder
+	for i, c := range o.Cols {
+		info.schema[i] = expr.ColumnID{Table: c.Table, Name: c.Name}
+		sig.WriteString(strings.ToLower(c.Table))
+		sig.WriteByte('.')
+		sig.WriteString(strings.ToLower(c.Name))
+		sig.WriteByte('|')
+	}
+	info.sig = sig.String()
+	// whole-query candidacy is verified against the buyer's own relevant
+	// partition sets — the seller's Complete flag was computed for the query
+	// *it* rewrote, which may differ (e.g. offers answering
+	// analyser-generated restricted queries).
+	full := uint(1)<<len(g.bindings) - 1
+	coversAll := info.mask == full
+	if coversAll {
+		for _, b := range info.bindings {
+			if !info.fullIn(g, b) {
+				coversAll = false
+				break
+			}
+		}
+	}
+	if o.PartialAgg {
+		// Partial aggregates are only meaningful for this query if it
+		// aggregates, and they combine exclusively with their own kind.
+		if !g.hasAgg {
+			return nil
+		}
+		info.partialAgg = true
+		return info
+	}
+	aggregated := g.hasAgg && !o.Stripped
+	info.whole = coversAll && o.Complete && aggregated
+	if g.hasAgg && !o.Stripped && !info.whole {
+		// An aggregated partial answer cannot be recombined safely.
+		return nil
+	}
+	if !g.hasAgg && coversAll && o.Complete {
+		info.whole = true
+	}
+	return info
+}
+
+func (info *offerInfo) fullIn(g *planGen, b string) bool {
+	return info.partMask[b] == g.fullMask[b] // vacuously true when no relevant partitions
+}
+
+// remote builds the Remote plan node of an offer.
+func (info *offerInfo) remote() *plan.Remote {
+	return &plan.Remote{
+		NodeID:  info.o.SellerID,
+		SQL:     info.o.SQL,
+		Cols:    info.schema,
+		EstRows: info.o.Props.Rows,
+		EstCost: info.o.Props.TotalTime,
+		OfferID: info.o.OfferID,
+	}
+}
+
+func (g *planGen) run() ([]Candidate, error) {
+	n := len(g.bindings)
+	full := uint(1)<<n - 1
+	dp := make(map[uint][]*assembly)
+
+	masks := make([]uint, 0, 1<<n)
+	for m := uint(1); m <= full; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := bits.OnesCount(masks[i]), bits.OnesCount(masks[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return masks[i] < masks[j]
+	})
+
+	for _, mask := range masks {
+		var cands []*assembly
+		cands = append(cands, g.directAssemblies(mask)...)
+		cands = append(cands, g.unionAssemblies(mask)...)
+		if bits.OnesCount(mask) >= 2 {
+			cands = append(cands, g.joinAssemblies(dp, mask)...)
+		}
+		dp[mask] = g.prune(mask, cands)
+	}
+
+	if g.mode == GenIDP {
+		g.idpPrune(dp, masks)
+		// Rebuild larger subsets from the surviving 2-way entries.
+		for _, mask := range masks {
+			if bits.OnesCount(mask) < 3 {
+				continue
+			}
+			var cands []*assembly
+			cands = append(cands, g.directAssemblies(mask)...)
+			cands = append(cands, g.unionAssemblies(mask)...)
+			cands = append(cands, g.joinAssemblies(dp, mask)...)
+			dp[mask] = g.prune(mask, cands)
+		}
+	}
+
+	var out []Candidate
+	for _, a := range dp[full] {
+		c, err := g.finishAssembly(a)
+		if err != nil {
+			continue
+		}
+		out = append(out, *c)
+	}
+	out = append(out, g.wholePlanCandidates()...)
+	out = append(out, g.partialAggCandidates()...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ResponseTime < out[j].ResponseTime })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no candidate plan can be built from %d offers", len(g.offers))
+	}
+	return out, nil
+}
+
+// prune keeps the best assemblies per subset: 1 for DP and greedy, keep for
+// 2-way subsets in IDP before the global IDP cut.
+func (g *planGen) prune(mask uint, cands []*assembly) []*assembly {
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ri, rj := cands[i].response(), cands[j].response()
+		if ri != rj {
+			return ri < rj
+		}
+		if wi, wj := cands[i].work(), cands[j].work(); wi != wj {
+			return wi < wj
+		}
+		return cands[i].paid() < cands[j].paid()
+	})
+	width := 1
+	if g.mode == GenIDP && bits.OnesCount(mask) == 2 {
+		width = g.keep
+	}
+	if len(cands) > width {
+		cands = cands[:width]
+	}
+	return cands
+}
+
+// idpPrune implements the IDP-M(2,k) cut: rank all 2-way subsets by their
+// best assembly and drop all but the best k subsets.
+func (g *planGen) idpPrune(dp map[uint][]*assembly, masks []uint) {
+	type scored struct {
+		mask uint
+		cost float64
+	}
+	var twoWay []scored
+	for _, m := range masks {
+		if bits.OnesCount(m) != 2 || len(dp[m]) == 0 {
+			continue
+		}
+		twoWay = append(twoWay, scored{mask: m, cost: dp[m][0].response()})
+	}
+	if len(twoWay) <= g.keep {
+		return
+	}
+	sort.Slice(twoWay, func(i, j int) bool { return twoWay[i].cost < twoWay[j].cost })
+	for _, s := range twoWay[g.keep:] {
+		delete(dp, s.mask)
+	}
+}
+
+// directAssemblies turns single offers fully covering the subset into
+// assemblies.
+func (g *planGen) directAssemblies(mask uint) []*assembly {
+	var out []*assembly
+	for _, info := range g.offers {
+		if info.mask != mask || info.whole || info.partialAgg {
+			continue
+		}
+		ok := true
+		for _, b := range info.bindings {
+			if !info.fullIn(g, b) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, &assembly{
+			node:      info.remote(),
+			schema:    info.schema,
+			remoteMax: info.o.Props.TotalTime,
+			remoteSum: info.o.Props.TotalTime,
+			rows:      info.o.Props.Rows,
+			bytes:     info.o.Props.Bytes,
+			offers:    []trading.Offer{info.o},
+		})
+	}
+	return out
+}
+
+// unionAssemblies assembles the subset by unioning offers that are full in
+// every binding except one, along which their disjoint partition sets must
+// exactly cover the relevant partitions. This is how the buyer reassembles a
+// horizontally partitioned relation (or co-partitioned join) from several
+// sellers.
+func (g *planGen) unionAssemblies(mask uint) []*assembly {
+	var out []*assembly
+	for bIdx, b := range g.bindings {
+		if mask&(1<<bIdx) == 0 {
+			continue
+		}
+		if g.fullMask[b] == 0 || bits.OnesCount(g.fullMask[b]) < 2 {
+			continue // nothing to assemble along this binding
+		}
+		// Group usable offers by schema signature.
+		bySig := map[string][]*offerInfo{}
+		for _, info := range g.offers {
+			if info.mask != mask || info.whole || info.partialAgg {
+				continue
+			}
+			usable := info.partMask[b] != 0
+			for _, ob := range info.bindings {
+				if ob == b {
+					continue
+				}
+				if !info.fullIn(g, ob) {
+					usable = false
+					break
+				}
+			}
+			if usable {
+				bySig[info.sig] = append(bySig[info.sig], info)
+			}
+		}
+		for _, group := range bySig {
+			if a := g.exactCover(b, group); a != nil {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// exactCover finds a low-cost set of offers whose partition masks for
+// binding b are disjoint and jointly cover all relevant partitions, via
+// bitmask DP (minimizing the response metric: max remote time, then sum).
+func (g *planGen) exactCover(b string, group []*offerInfo) *assembly {
+	target := g.fullMask[b]
+	type entry struct {
+		max, sum float64
+		rows     int64
+		bytes    float64
+		used     []*offerInfo
+	}
+	dp := map[uint]*entry{0: {}}
+	// Deterministic iteration.
+	sort.Slice(group, func(i, j int) bool { return group[i].o.OfferID < group[j].o.OfferID })
+	for _, info := range group {
+		pm := info.partMask[b]
+		if pm == 0 || pm&^target != 0 {
+			continue
+		}
+		updates := map[uint]*entry{}
+		for covered, e := range dp {
+			if covered&pm != 0 {
+				continue // overlap would duplicate rows
+			}
+			nc := covered | pm
+			cand := &entry{
+				max:   math.Max(e.max, info.o.Props.TotalTime),
+				sum:   e.sum + info.o.Props.TotalTime,
+				rows:  e.rows + info.o.Props.Rows,
+				bytes: e.bytes + info.o.Props.Bytes,
+				used:  append(append([]*offerInfo{}, e.used...), info),
+			}
+			prev, ok := dp[nc]
+			prevU, okU := updates[nc]
+			better := func(old *entry) bool {
+				if old == nil {
+					return true
+				}
+				if cand.max != old.max {
+					return cand.max < old.max
+				}
+				return cand.sum < old.sum
+			}
+			if (!ok || better(prev)) && (!okU || better(prevU)) {
+				updates[nc] = cand
+			}
+		}
+		for k, v := range updates {
+			dp[k] = v
+		}
+	}
+	win, ok := dp[target]
+	if !ok || len(win.used) < 2 {
+		return nil // single-offer covers are handled by directAssemblies
+	}
+	inputs := make([]plan.Node, len(win.used))
+	var offers []trading.Offer
+	for i, info := range win.used {
+		inputs[i] = info.remote()
+		offers = append(offers, info.o)
+	}
+	return &assembly{
+		node:      &plan.Union{Inputs: inputs},
+		schema:    win.used[0].schema,
+		remoteMax: win.max,
+		remoteSum: win.sum,
+		rows:      win.rows,
+		bytes:     win.bytes,
+		offers:    offers,
+		unions:    []string{b},
+	}
+}
+
+// joinAssemblies joins solved sub-subsets, mirroring the seller-side DP.
+func (g *planGen) joinAssemblies(dp map[uint][]*assembly, mask uint) []*assembly {
+	var out []*assembly
+	gen := func(requireConnected bool) {
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask &^ sub
+			if sub > other {
+				continue
+			}
+			if g.mode == GenGreedy && bits.OnesCount(sub) != 1 && bits.OnesCount(other) != 1 {
+				continue // left-deep only
+			}
+			ls, rs := dp[sub], dp[other]
+			if len(ls) == 0 || len(rs) == 0 {
+				continue
+			}
+			preds := g.connecting(sub, other)
+			if requireConnected && len(preds) == 0 {
+				continue
+			}
+			for _, l := range ls {
+				for _, r := range rs {
+					out = append(out, g.join(l, r, preds))
+				}
+			}
+		}
+	}
+	gen(true)
+	if len(out) == 0 {
+		gen(false)
+	}
+	return out
+}
+
+func (g *planGen) connecting(a, b uint) []expr.Expr {
+	var out []expr.Expr
+	for _, jp := range g.joinPred {
+		if jp.mask&a != 0 && jp.mask&b != 0 {
+			out = append(out, expr.Clone(jp.e))
+		}
+	}
+	return out
+}
+
+func (g *planGen) join(l, r *assembly, preds []expr.Expr) *assembly {
+	// Cardinality: containment assumption with NDV ≈ distinct rows of the
+	// larger side (offers do not ship per-column NDVs).
+	rows := float64(l.rows) * float64(r.rows)
+	if len(preds) > 0 {
+		d := math.Max(float64(maxI(l.rows, r.rows)), 1)
+		rows = rows / d * math.Pow(1.0/3.0, float64(len(preds)-1))
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	outRows := int64(math.Ceil(rows))
+	build, probe := l.rows, r.rows
+	if build > probe {
+		build, probe = probe, build
+	}
+	var joinCost float64
+	if len(preds) > 0 {
+		joinCost = g.model.HashJoin(build, probe, outRows)
+	} else {
+		joinCost = g.model.NLJoin(l.rows, r.rows, outRows)
+	}
+	left, right := l.node, r.node
+	if l.rows < r.rows {
+		left, right = r.node, l.node
+	}
+	lBind, rBind := g.bindingNames(l), g.bindingNames(r)
+	return &assembly{
+		node:      &plan.Join{L: left, R: right, On: expr.And(preds)},
+		schema:    append(append([]expr.ColumnID{}, l.schema...), r.schema...),
+		remoteMax: math.Max(l.remoteMax, r.remoteMax),
+		remoteSum: l.remoteSum + r.remoteSum,
+		localCost: l.localCost + r.localCost + joinCost,
+		rows:      outRows,
+		bytes:     l.bytes + r.bytes,
+		offers:    append(append([]trading.Offer{}, l.offers...), r.offers...),
+		unions:    append(append([]string{}, l.unions...), r.unions...),
+		joins:     append(append([][]string{}, append(l.joins, lBind)...), append(r.joins, rBind)...),
+	}
+}
+
+func (g *planGen) bindingNames(a *assembly) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, o := range a.offers {
+		for _, b := range o.Bindings {
+			lb := strings.ToLower(b)
+			if !seen[lb] {
+				seen[lb] = true
+				out = append(out, lb)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// finishAssembly applies the original query's full predicate as a safety
+// compensation filter, then the aggregation/ordering phase, and prices the
+// candidate.
+func (g *planGen) finishAssembly(a *assembly) (*Candidate, error) {
+	node := a.node
+	// Re-apply the query conjuncts the assembly's schema can evaluate (the
+	// sellers already applied them remotely; re-filtering is an idempotent
+	// safety net). Conjuncts over columns the offers did not ship are
+	// guaranteed by the offer SQL itself.
+	var applicable []expr.Expr
+	for _, c := range expr.Conjuncts(g.sel.Where) {
+		if bindable(c, a.schema) {
+			applicable = append(applicable, expr.Clone(c))
+		}
+	}
+	if pred := expr.And(applicable); pred != nil {
+		node = &plan.Filter{Input: node, Pred: pred}
+	}
+	root, err := plan.FinalizeSelect(g.sel, node)
+	if err != nil {
+		return nil, err
+	}
+	local := a.localCost + g.model.Filter(a.rows)
+	rows := a.rows
+	if g.hasAgg {
+		groups := rows/2 + 1
+		local += g.model.Aggregate(rows, groups)
+		rows = groups
+	}
+	if len(g.sel.OrderBy) > 0 {
+		local += g.model.Sort(rows)
+	}
+	return &Candidate{
+		Root:          root,
+		ResponseTime:  a.remoteMax + local,
+		TotalWork:     a.remoteSum + local,
+		Rows:          rows,
+		Offers:        a.offers,
+		UnionBindings: dedupStrings(a.unions),
+		JoinSubsets:   a.joins,
+	}, nil
+}
+
+// wholePlanCandidates turns complete (aggregated or view) whole-query offers
+// into single-Remote candidates with local ordering applied.
+func (g *planGen) wholePlanCandidates() []Candidate {
+	var out []Candidate
+	for _, info := range g.offers {
+		if !info.whole {
+			continue
+		}
+		var node plan.Node = info.remote()
+		local := 0.0
+		if len(g.sel.OrderBy) > 0 {
+			keys := make([]plan.SortKey, 0, len(g.sel.OrderBy))
+			for _, ob := range g.sel.OrderBy {
+				keys = append(keys, plan.SortKey{Expr: sortKeyForOutput(ob.Expr, info.schema), Desc: ob.Desc})
+			}
+			node = &plan.Sort{Input: node, Keys: keys}
+			local += g.model.Sort(info.o.Props.Rows)
+		}
+		if g.sel.Limit >= 0 {
+			node = &plan.Limit{Input: node, N: g.sel.Limit}
+		}
+		out = append(out, Candidate{
+			Root:         node,
+			ResponseTime: info.o.Props.TotalTime + local,
+			TotalWork:    info.o.Props.TotalTime + local,
+			Rows:         info.o.Props.Rows,
+			Offers:       []trading.Offer{info.o},
+		})
+	}
+	return out
+}
+
+// sortKeyForOutput maps an ORDER BY expression onto the remote output schema
+// (aliases win over source columns).
+func sortKeyForOutput(e expr.Expr, schema []expr.ColumnID) expr.Expr {
+	if c, ok := e.(*expr.Column); ok {
+		for _, s := range schema {
+			if strings.EqualFold(c.Name, s.Name) {
+				return expr.NewColumn(s.Table, s.Name)
+			}
+		}
+	}
+	return expr.Clone(e)
+}
+
+// bindable reports whether every column of e is available in the schema.
+func bindable(e expr.Expr, schema []expr.ColumnID) bool {
+	for _, c := range expr.Columns(e) {
+		found := false
+		for _, s := range schema {
+			if !strings.EqualFold(c.Name, s.Name) {
+				continue
+			}
+			if c.Table == "" || strings.EqualFold(c.Table, s.Table) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EstimateValuation turns a candidate into the multidimensional valuation the
+// buyer ranks with its weighting function. Money is the sum of the asked
+// prices of the purchased offers, so commercial federations (Weights.Money
+// > 0) trade execution speed against spend.
+func EstimateValuation(c *Candidate) cost.Valuation {
+	var paid float64
+	minFresh := 1.0
+	for _, o := range c.Offers {
+		paid += o.Price
+		if o.Props.Freshness > 0 && o.Props.Freshness < minFresh {
+			minFresh = o.Props.Freshness
+		}
+	}
+	return cost.Valuation{
+		TotalTime: c.ResponseTime,
+		Rows:      c.Rows,
+		Freshness: minFresh,
+		// The plan generator assembles exact coverage, so the answer is
+		// complete even when individual offers were partial.
+		Completeness: 1,
+		Money:        paid,
+	}
+}
+
+// ValueOf ranks a candidate under the federation weights; lower is better.
+func ValueOf(w cost.Weights, c *Candidate) float64 {
+	return w.Score(EstimateValuation(c))
+}

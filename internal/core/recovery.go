@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/expr"
+	"qtrade/internal/trading"
+)
+
+// trackingComm wraps a Comm and records which sellers failed to deliver a
+// purchased answer.
+type trackingComm struct {
+	inner Comm
+
+	mu     sync.Mutex
+	failed map[string]bool
+}
+
+func (c *trackingComm) Peers() map[string]trading.Peer { return c.inner.Peers() }
+
+func (c *trackingComm) Award(to string, aw trading.Award) error { return c.inner.Award(to, aw) }
+
+func (c *trackingComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, error) {
+	resp, err := c.inner.Fetch(to, req)
+	if err != nil {
+		c.mu.Lock()
+		c.failed[to] = true
+		c.mu.Unlock()
+	}
+	return resp, err
+}
+
+// OptimizeAndExecute runs the full pipeline with execution-time recovery: if
+// a purchased seller fails while delivering (crash between negotiation and
+// execution — the autonomy hazard the paper's contracting extension targets),
+// the buyer re-optimizes with the failed sellers excluded and retries, up to
+// maxRetries times. It returns the rows, the final winning plan, and the
+// number of recovery rounds used.
+func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql string, maxRetries int) (*exec.Result, *Result, int, error) {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	excluded := map[string]bool{}
+	for k, v := range cfg.ExcludeSellers {
+		excluded[k] = v
+	}
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		attemptCfg := cfg
+		attemptCfg.ExcludeSellers = excluded
+		res, err := Optimize(attemptCfg, comm, sql)
+		if err != nil {
+			return nil, nil, attempt, err
+		}
+		tc := &trackingComm{inner: comm, failed: map[string]bool{}}
+		out, err := executeWith(tc, localExec, res)
+		if err == nil {
+			return out, res, attempt, nil
+		}
+		lastErr = err
+		if len(tc.failed) == 0 {
+			// Not a delivery failure (e.g. a local execution bug): retrying
+			// with the same plan cannot help.
+			return nil, nil, attempt, err
+		}
+		for id := range tc.failed {
+			excluded[id] = true
+		}
+	}
+	return nil, nil, maxRetries + 1, fmt.Errorf("core: recovery exhausted after %d retries: %w", maxRetries, lastErr)
+}
+
+// executeWith is ExecuteResult against an explicit Comm implementation.
+func executeWith(comm Comm, localExec *exec.Executor, res *Result) (*exec.Result, error) {
+	ex := &exec.Executor{}
+	if localExec != nil {
+		ex.Store = localExec.Store
+	}
+	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
+		resp, err := comm.Fetch(nodeID, trading.ExecReq{SQL: sql, OfferID: offerID})
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]expr.ColumnID, len(resp.Cols))
+		for i, c := range resp.Cols {
+			cols[i] = expr.ColumnID{Table: c.Table, Name: c.Name}
+		}
+		return &exec.Result{Cols: cols, Rows: resp.Rows}, nil
+	}
+	return ex.Run(res.Candidate.Root)
+}

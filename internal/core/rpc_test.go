@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/netsim"
+	"qtrade/internal/trading"
+)
+
+// TestRPCFederationEndToEnd runs the full trading pipeline over real TCP:
+// the island nodes are served with net/rpc on loopback, the buyer
+// negotiates, awards and fetches through RPC peers — the multi-process
+// deployment path of cmd/qtnode.
+func TestRPCFederationEndToEnd(t *testing.T) {
+	f := buildFederation(t, nil)
+	want := oracle(t, f.sch, paperQuery)
+
+	var listeners []net.Listener
+	peers := map[string]trading.Peer{}
+	rpcPeers := map[string]*netsim.RPCPeer{}
+	for _, id := range []string{"corfu", "myconos"} {
+		n := map[string]interface {
+			netsim.Service
+		}{"corfu": f.corfu, "myconos": f.myc}[id]
+		ln, err := netsim.ServeRPC("127.0.0.1:0", id, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		p, err := netsim.DialPeer(ln.Addr().String(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers[id] = p
+		rpcPeers[id] = p
+	}
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+
+	comm := &PeerComm{
+		PeerMap: peers,
+		AwardFn: func(to string, aw trading.Award) error {
+			p, ok := rpcPeers[to]
+			if !ok {
+				return fmt.Errorf("no peer %s", to)
+			}
+			return p.Award(aw)
+		},
+		FetchFn: func(to string, req trading.ExecReq) (trading.ExecResp, error) {
+			p, ok := rpcPeers[to]
+			if !ok {
+				return trading.ExecResp{}, fmt.Errorf("no peer %s", to)
+			}
+			return p.Execute(req)
+		},
+	}
+	cfg := Config{ID: "athens", Schema: f.sch, Self: f.athens}
+	res, err := Optimize(cfg, comm, paperQuery)
+	if err != nil {
+		t.Fatalf("rpc optimize: %v", err)
+	}
+	ex := &exec.Executor{Store: f.athens.Store()}
+	out, err := ExecuteResult(comm, ex, res)
+	if err != nil {
+		t.Fatalf("rpc execute: %v\n%s", err, ExplainResult(res))
+	}
+	got := rowsKey(out.Rows)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("rpc federation answer differs:\ngot  %v\nwant %v", got, want)
+	}
+}

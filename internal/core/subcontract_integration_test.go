@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/exec"
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+)
+
+// TestBuyerBenefitsFromSubcontracting models restricted visibility: the
+// buyer only knows the corfu node, which holds just the corfu customer
+// partition, but corfu can subcontract the myconos partition from a peer
+// the buyer cannot see. The query over both offices is answerable only
+// through the §3.5 subcontracting extension.
+func TestBuyerBenefitsFromSubcontracting(t *testing.T) {
+	sch := telcoSchema()
+	net := netsim.New()
+
+	cust, _ := sch.Table("customer")
+	myc := node.New(node.Config{ID: "myconos", Schema: sch})
+	mustFrag(t, myc, cust, "myconos")
+	mustIns(t, myc, "customer", "myconos",
+		value.Row{value.NewInt(3), value.NewStr("carol"), value.NewStr("Myconos")},
+		value.Row{value.NewInt(5), value.NewStr("eve"), value.NewStr("Myconos")})
+
+	corfu := node.New(node.Config{
+		ID: "corfu", Schema: sch,
+		SubcontractPeers: func() map[string]trading.Peer {
+			return map[string]trading.Peer{"myconos": net.Peer("corfu", "myconos")}
+		},
+	})
+	mustFrag(t, corfu, cust, "corfu")
+	mustIns(t, corfu, "customer", "corfu",
+		value.Row{value.NewInt(1), value.NewStr("alice"), value.NewStr("Corfu")},
+		value.Row{value.NewInt(2), value.NewStr("bob"), value.NewStr("Corfu")})
+
+	net.Register("corfu", corfu)
+	net.Register("myconos", myc)
+
+	// The buyer's world is just corfu.
+	comm := &PeerComm{
+		PeerMap: map[string]trading.Peer{"corfu": net.Peer("buyer", "corfu")},
+		AwardFn: func(to string, aw trading.Award) error { return net.Award("buyer", to, aw) },
+		FetchFn: func(to string, req trading.ExecReq) (trading.ExecResp, error) {
+			return net.Execute("buyer", to, req)
+		},
+	}
+	q := "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')"
+	res, err := Optimize(Config{ID: "buyer", Schema: sch}, comm, q)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	out, err := ExecuteResult(comm, &exec.Executor{}, res)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, ExplainResult(res))
+	}
+	if len(out.Rows) != 4 {
+		t.Fatalf("rows: %v (want all four customers)", out.Rows)
+	}
+	names := map[string]bool{}
+	for _, r := range out.Rows {
+		names[r[0].S] = true
+	}
+	if !names["carol"] || !names["eve"] {
+		t.Fatalf("myconos customers missing (subcontract did not fire): %v\n%s",
+			names, ExplainResult(res))
+	}
+	// Every purchase is from corfu — the buyer never saw myconos.
+	for _, o := range res.Candidate.Offers {
+		if o.SellerID != "corfu" {
+			t.Fatalf("buyer bought from invisible node %s", o.SellerID)
+		}
+	}
+}
+
+func mustFrag(t *testing.T, n *node.Node, def *catalog.TableDef, part string) {
+	t.Helper()
+	if _, err := n.Store().CreateFragment(def, part); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustIns(t *testing.T, n *node.Node, table, part string, rows ...value.Row) {
+	t.Helper()
+	if err := n.Store().Insert(table, part, rows...); err != nil {
+		t.Fatal(err)
+	}
+}

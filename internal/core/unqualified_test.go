@@ -1,0 +1,29 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnqualifiedColumnsEndToEnd runs a query whose columns carry no table
+// qualifiers through the whole trading pipeline.
+func TestUnqualifiedColumnsEndToEnd(t *testing.T) {
+	f := buildFederation(t, nil)
+	q := "SELECT custname FROM customer c WHERE office IN ('Corfu', 'Myconos')"
+	want := oracle(t, f.sch, q)
+	res, got := optimizeAndRun(t, f, athensCfg(f), q)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("unqualified query differs:\ngot  %v\nwant %v\n%s", got, want, ExplainResult(res))
+	}
+}
+
+// TestNoAliasQuery uses the bare table name as the binding.
+func TestNoAliasQuery(t *testing.T) {
+	f := buildFederation(t, nil)
+	q := "SELECT customer.custname FROM customer WHERE customer.office = 'Myconos'"
+	want := oracle(t, f.sch, q)
+	res, got := optimizeAndRun(t, f, athensCfg(f), q)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("bare-name query differs:\ngot  %v\nwant %v\n%s", got, want, ExplainResult(res))
+	}
+}

@@ -1,0 +1,112 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelSane(t *testing.T) {
+	m := Default()
+	if m.CPURow <= 0 || m.IORow <= 0 || m.BytesPerMS <= 0 || m.NetLatency <= 0 {
+		t.Fatalf("default constants: %+v", m)
+	}
+}
+
+func TestScanMonotonic(t *testing.T) {
+	m := Default()
+	if m.Scan(1000) <= m.Scan(100) {
+		t.Fatal("scan cost must grow with rows")
+	}
+	if m.Scan(0) < m.StartupCost {
+		t.Fatal("scan includes startup")
+	}
+}
+
+func TestHashJoinVsNLJoin(t *testing.T) {
+	m := Default()
+	// For large inputs, hashing beats nested loops by orders of magnitude.
+	h := m.HashJoin(10000, 10000, 10000)
+	nl := m.NLJoin(10000, 10000, 10000)
+	if h >= nl/100 {
+		t.Fatalf("hash %.2f vs nl %.2f", h, nl)
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	m := Default()
+	if m.Sort(0) != 0 || m.Sort(1) != 0 {
+		t.Fatal("trivial sorts are free")
+	}
+	if m.Sort(10000) <= m.Sort(1000)*2 {
+		t.Fatal("sort superlinear growth expected")
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	m := Default()
+	if m.Transfer(0) != m.NetLatency {
+		t.Fatal("empty transfer still pays latency")
+	}
+	if m.Transfer(1_000_000) <= m.Transfer(1000) {
+		t.Fatal("transfer grows with bytes")
+	}
+	// 100 KB at 100 MB/s is ~1 ms plus latency.
+	got := m.Transfer(100_000)
+	if got < 1.9 || got > 2.1 {
+		t.Fatalf("100KB transfer: %.3f ms", got)
+	}
+}
+
+func TestAggregateAndFilter(t *testing.T) {
+	m := Default()
+	if m.Aggregate(1000, 10) <= 0 || m.Filter(1000) <= 0 {
+		t.Fatal("positive costs")
+	}
+}
+
+func TestDefaultWeightsScoreIsTotalTime(t *testing.T) {
+	w := DefaultWeights()
+	v := Valuation{TotalTime: 42, FirstRow: 5, Rows: 1000, Money: 99}
+	if w.Score(v) != 42 {
+		t.Fatalf("default score: %f", w.Score(v))
+	}
+}
+
+func TestWeightsDimensions(t *testing.T) {
+	w := Weights{TotalTime: 1, Staleness: 10, Incomplete: 20, Money: 2, SlowDelivery: 100, FirstRow: 1, Rows: 0.001}
+	fresh := Valuation{TotalTime: 10, Freshness: 1, Completeness: 1, RowsPerSec: 1000, Rows: 100, FirstRow: 1, Money: 1}
+	stale := fresh
+	stale.Freshness = 0.5
+	if w.Score(stale) <= w.Score(fresh) {
+		t.Fatal("staleness must cost")
+	}
+	partial := fresh
+	partial.Completeness = 0.5
+	if w.Score(partial) <= w.Score(fresh) {
+		t.Fatal("incompleteness must cost")
+	}
+	slow := fresh
+	slow.RowsPerSec = 1
+	if w.Score(slow) <= w.Score(fresh) {
+		t.Fatal("slow delivery must cost")
+	}
+	// Zero RowsPerSec must not divide by zero.
+	zero := fresh
+	zero.RowsPerSec = 0
+	_ = w.Score(zero)
+}
+
+// Property: costs are non-negative and monotone in rows.
+func TestQuickCostMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(a)+int64(b)
+		return m.Scan(x) <= m.Scan(y) &&
+			m.Filter(x) <= m.Filter(y) &&
+			m.Sort(x) <= m.Sort(y) &&
+			m.HashJoin(x, x, x) <= m.HashJoin(y, y, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

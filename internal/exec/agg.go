@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"qtrade/internal/expr"
+	"qtrade/internal/plan"
+	"qtrade/internal/value"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	fn       string
+	distinct bool
+	star     bool
+
+	count    int64
+	sumInt   int64
+	sumFloat float64
+	sawFloat bool
+	sawAny   bool
+	min, max value.Value
+	seen     map[string]bool // for DISTINCT
+}
+
+func newAggState(it plan.AggItem) *aggState {
+	s := &aggState{fn: it.Agg.Fn, distinct: it.Agg.Distinct, star: it.Agg.Star}
+	if s.distinct {
+		s.seen = map[string]bool{}
+	}
+	return s
+}
+
+func (s *aggState) add(v value.Value) error {
+	if s.star {
+		s.count++
+		return nil
+	}
+	if v.IsNull() {
+		return nil // aggregates skip NULLs
+	}
+	if s.distinct {
+		k := value.Key(value.Row{v}, []int{0})
+		if s.seen[k] {
+			return nil
+		}
+		s.seen[k] = true
+	}
+	s.sawAny = true
+	s.count++
+	switch s.fn {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG":
+		switch v.K {
+		case value.Int:
+			s.sumInt += v.I
+		case value.Float:
+			s.sawFloat = true
+			s.sumFloat += v.F
+		default:
+			return fmt.Errorf("exec: %s over non-numeric value %s", s.fn, v)
+		}
+		return nil
+	case "MIN":
+		if s.min.IsNull() {
+			s.min = v
+		} else if c, ok := value.Compare(v, s.min); ok && c < 0 {
+			s.min = v
+		}
+		return nil
+	case "MAX":
+		if s.max.IsNull() {
+			s.max = v
+		} else if c, ok := value.Compare(v, s.max); ok && c > 0 {
+			s.max = v
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown aggregate %q", s.fn)
+}
+
+func (s *aggState) result() value.Value {
+	switch s.fn {
+	case "COUNT":
+		return value.NewInt(s.count)
+	case "SUM":
+		if !s.sawAny {
+			return value.NewNull()
+		}
+		if s.sawFloat {
+			return value.NewFloat(s.sumFloat + float64(s.sumInt))
+		}
+		return value.NewInt(s.sumInt)
+	case "AVG":
+		if !s.sawAny || s.count == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat((s.sumFloat + float64(s.sumInt)) / float64(s.count))
+	case "MIN":
+		return s.min
+	case "MAX":
+		return s.max
+	}
+	return value.NewNull()
+}
+
+func (ex *Executor) runAggregate(t *plan.Aggregate) ([]value.Row, error) {
+	in, err := ex.run(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := t.Input.Schema()
+	groupExprs := make([]expr.Expr, len(t.GroupBy))
+	for i, g := range t.GroupBy {
+		b, err := bindClone(g, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = b
+	}
+	argExprs := make([]expr.Expr, len(t.Aggs))
+	for i, it := range t.Aggs {
+		if it.Agg.Star {
+			continue
+		}
+		b, err := bindClone(it.Agg.Arg, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		argExprs[i] = b
+	}
+
+	type group struct {
+		key    value.Row
+		states []*aggState
+		order  int
+	}
+	groups := map[string]*group{}
+	for _, r := range in {
+		keyVals := make(value.Row, len(groupExprs))
+		for i, g := range groupExprs {
+			v, err := expr.Eval(g, r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		k := value.Key(keyVals, seq(len(keyVals)))
+		grp := groups[k]
+		if grp == nil {
+			grp = &group{key: keyVals, order: len(groups)}
+			for _, it := range t.Aggs {
+				grp.states = append(grp.states, newAggState(it))
+			}
+			groups[k] = grp
+		}
+		for i, st := range grp.states {
+			var v value.Value
+			if !st.star {
+				v, err = expr.Eval(argExprs[i], r)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := st.add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Global aggregation over zero rows still yields one row.
+	if len(groups) == 0 && len(t.GroupBy) == 0 {
+		g := &group{}
+		for _, it := range t.Aggs {
+			g.states = append(g.states, newAggState(it))
+		}
+		groups[""] = g
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	out := make([]value.Row, 0, len(ordered))
+	for _, g := range ordered {
+		row := make(value.Row, 0, len(g.key)+len(g.states))
+		row = append(row, g.key...)
+		for _, st := range g.states {
+			row = append(row, st.result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,444 @@
+// Package exec executes plan trees against a node's local storage and, for
+// Remote nodes, against the sellers a plan purchased answers from. Execution
+// is row-vector at a time: each operator materializes its result, which is
+// ample for the federation sizes the experiments simulate and keeps the
+// engine easy to verify. No execution ever happens during optimization — the
+// trading algorithm prices offers purely from optimizer estimates, and only a
+// finished winning plan reaches this package.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"qtrade/internal/expr"
+	"qtrade/internal/plan"
+	"qtrade/internal/storage"
+	"qtrade/internal/value"
+)
+
+// Result is a materialized query answer: column identities plus rows.
+type Result struct {
+	Cols []expr.ColumnID
+	Rows []value.Row
+}
+
+// FetchFunc resolves a Remote plan node by asking the named seller to
+// evaluate sql and ship the answer. offerID identifies the purchased offer
+// (empty for plans, like the baselines', that fetch ad hoc); sellers use it
+// to recognize composite subcontracted offers.
+type FetchFunc func(nodeID, sql, offerID string) (*Result, error)
+
+// Executor runs plans against a store, fetching purchased answers via Fetch.
+type Executor struct {
+	Store *storage.Store
+	Fetch FetchFunc
+}
+
+// Run executes the plan and returns its materialized result.
+func (ex *Executor) Run(n plan.Node) (*Result, error) {
+	rows, err := ex.run(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: n.Schema(), Rows: rows}, nil
+}
+
+// bindClone clones an expression and binds it against a schema.
+func bindClone(e expr.Expr, schema []expr.ColumnID) (expr.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	c := expr.Clone(e)
+	if err := expr.Bind(c, schema); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (ex *Executor) run(n plan.Node) ([]value.Row, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return ex.runScan(t)
+	case *plan.ViewScan:
+		return ex.runViewScan(t)
+	case *plan.Filter:
+		return ex.runFilter(t)
+	case *plan.Project:
+		return ex.runProject(t)
+	case *plan.Join:
+		return ex.runJoin(t)
+	case *plan.Aggregate:
+		return ex.runAggregate(t)
+	case *plan.Sort:
+		return ex.runSort(t)
+	case *plan.Limit:
+		in, err := ex.run(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(in)) > t.N {
+			in = in[:t.N]
+		}
+		return in, nil
+	case *plan.Distinct:
+		in, err := ex.run(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return distinctRows(in), nil
+	case *plan.Union:
+		return ex.runUnion(t)
+	case *plan.Remote:
+		return ex.runRemote(t)
+	}
+	return nil, fmt.Errorf("exec: unknown plan node %T", n)
+}
+
+func (ex *Executor) runScan(t *plan.Scan) ([]value.Row, error) {
+	if ex.Store == nil {
+		return nil, fmt.Errorf("exec: no local store for scan of %s", t.Def.Name)
+	}
+	pred, err := bindClone(t.Pred, t.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	err = ex.Store.Scan(t.Def.Name, t.PartID, pred, func(r value.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}
+
+func (ex *Executor) runViewScan(t *plan.ViewScan) ([]value.Row, error) {
+	if ex.Store == nil {
+		return nil, fmt.Errorf("exec: no local store for view %s", t.Name)
+	}
+	v := ex.Store.View(t.Name)
+	if v == nil {
+		return nil, fmt.Errorf("exec: unknown view %s", t.Name)
+	}
+	pred, err := bindClone(t.Pred, t.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	for _, r := range v.Rows {
+		if pred != nil {
+			ok, err := expr.EvalBool(pred, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (ex *Executor) runFilter(t *plan.Filter) ([]value.Row, error) {
+	in, err := ex.run(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bindClone(t.Pred, t.Input.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	for _, r := range in {
+		ok, err := expr.EvalBool(pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (ex *Executor) runProject(t *plan.Project) ([]value.Row, error) {
+	in, err := ex.run(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	bound := make([]expr.Expr, len(t.Exprs))
+	for i, e := range t.Exprs {
+		b, err := bindClone(e, t.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		bound[i] = b
+	}
+	out := make([]value.Row, len(in))
+	for ri, r := range in {
+		row := make(value.Row, len(bound))
+		for i, e := range bound {
+			v, err := expr.Eval(e, r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out[ri] = row
+	}
+	return out, nil
+}
+
+// classifyJoinPred splits the ON conjuncts into equi-join key pairs (left
+// expression over L schema, right expression over R schema) and residual
+// predicates over the concatenated schema.
+func classifyJoinPred(on expr.Expr, lSchema, rSchema []expr.ColumnID) (lKeys, rKeys []expr.Expr, residual expr.Expr, err error) {
+	both := append(append([]expr.ColumnID{}, lSchema...), rSchema...)
+	var rest []expr.Expr
+	for _, c := range expr.Conjuncts(on) {
+		b, isBin := c.(*expr.Binary)
+		if isBin && b.Op == "=" {
+			lOnly, errL := bindClone(b.L, lSchema)
+			rOnly, errR := bindClone(b.R, rSchema)
+			if errL == nil && errR == nil {
+				lKeys = append(lKeys, lOnly)
+				rKeys = append(rKeys, rOnly)
+				continue
+			}
+			// Swapped sides: L expr over R schema, R expr over L schema.
+			lSwap, errLS := bindClone(b.R, lSchema)
+			rSwap, errRS := bindClone(b.L, rSchema)
+			if errLS == nil && errRS == nil {
+				lKeys = append(lKeys, lSwap)
+				rKeys = append(rKeys, rSwap)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	residual, err = bindClone(expr.And(rest), both)
+	return lKeys, rKeys, residual, err
+}
+
+func (ex *Executor) runJoin(t *plan.Join) ([]value.Row, error) {
+	l, err := ex.run(t.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.run(t.R)
+	if err != nil {
+		return nil, err
+	}
+	lKeys, rKeys, residual, err := classifyJoinPred(t.On, t.L.Schema(), t.R.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	emit := func(lr, rr value.Row) error {
+		row := make(value.Row, 0, len(lr)+len(rr))
+		row = append(append(row, lr...), rr...)
+		if residual != nil {
+			ok, err := expr.EvalBool(residual, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		out = append(out, row)
+		return nil
+	}
+	if len(lKeys) == 0 {
+		// Nested loops (cross product plus residual filter).
+		for _, lr := range l {
+			for _, rr := range r {
+				if err := emit(lr, rr); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	// Hash join: build on the right input.
+	type bucket struct {
+		keys value.Row
+		row  value.Row
+	}
+	table := map[uint64][]bucket{}
+	for _, rr := range r {
+		keys, null, err := evalKeys(rKeys, rr)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue // NULL keys never match
+		}
+		h := value.HashRow(keys, seq(len(keys)))
+		table[h] = append(table[h], bucket{keys: keys, row: rr})
+	}
+	for _, lr := range l {
+		keys, null, err := evalKeys(lKeys, lr)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		h := value.HashRow(keys, seq(len(keys)))
+		for _, b := range table[h] {
+			if !keysEqual(keys, b.keys) {
+				continue
+			}
+			if err := emit(lr, b.row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalKeys(keys []expr.Expr, row value.Row) (value.Row, bool, error) {
+	out := make(value.Row, len(keys))
+	for i, k := range keys {
+		v, err := expr.Eval(k, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		out[i] = v
+	}
+	return out, false, nil
+}
+
+func keysEqual(a, b value.Row) bool {
+	for i := range a {
+		if !value.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (ex *Executor) runSort(t *plan.Sort) ([]value.Row, error) {
+	in, err := ex.run(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]expr.Expr, len(t.Keys))
+	for i, k := range t.Keys {
+		b, err := bindClone(k.Expr, t.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = b
+	}
+	type sortable struct {
+		row  value.Row
+		keys value.Row
+	}
+	items := make([]sortable, len(in))
+	for i, r := range in {
+		kv := make(value.Row, len(keys))
+		for j, k := range keys {
+			v, err := expr.Eval(k, r)
+			if err != nil {
+				return nil, err
+			}
+			kv[j] = v
+		}
+		items[i] = sortable{row: r, keys: kv}
+	}
+	var sortErr error
+	sort.SliceStable(items, func(i, j int) bool {
+		for k := range keys {
+			a, b := items[i].keys[k], items[j].keys[k]
+			c := compareForSort(a, b)
+			if t.Keys[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := make([]value.Row, len(items))
+	for i, it := range items {
+		out[i] = it.row
+	}
+	return out, nil
+}
+
+// compareForSort orders values with NULLs first (ascending).
+func compareForSort(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	c, _ := value.Compare(a, b)
+	return c
+}
+
+func distinctRows(in []value.Row) []value.Row {
+	seen := map[string]bool{}
+	var out []value.Row
+	for _, r := range in {
+		k := value.Key(r, seq(len(r)))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (ex *Executor) runUnion(t *plan.Union) ([]value.Row, error) {
+	var out []value.Row
+	width := -1
+	for _, in := range t.Inputs {
+		rows, err := ex.run(in)
+		if err != nil {
+			return nil, err
+		}
+		if width >= 0 && len(rows) > 0 && len(rows[0]) != width {
+			return nil, fmt.Errorf("exec: union inputs have different widths (%d vs %d)", len(rows[0]), width)
+		}
+		if len(rows) > 0 {
+			width = len(rows[0])
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+func (ex *Executor) runRemote(t *plan.Remote) ([]value.Row, error) {
+	if ex.Fetch == nil {
+		return nil, fmt.Errorf("exec: plan contains Remote[%s] but executor has no fetcher", t.NodeID)
+	}
+	res, err := ex.Fetch(t.NodeID, t.SQL, t.OfferID)
+	if err != nil {
+		return nil, fmt.Errorf("exec: fetching from %s: %w", t.NodeID, err)
+	}
+	if len(res.Rows) > 0 && len(res.Rows[0]) != len(t.Cols) {
+		return nil, fmt.Errorf("exec: remote %s returned width %d, plan expects %d", t.NodeID, len(res.Rows[0]), len(t.Cols))
+	}
+	return res.Rows, nil
+}

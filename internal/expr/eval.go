@@ -1,0 +1,260 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"qtrade/internal/value"
+)
+
+// ColumnID identifies one output column of an operator or table for binding:
+// the (table-or-alias, column) pair exposed to expressions.
+type ColumnID struct {
+	Table string
+	Name  string
+}
+
+// Key returns the canonical lower-case identity of the column id.
+func (c ColumnID) Key() string {
+	return strings.ToLower(c.Table) + "." + strings.ToLower(c.Name)
+}
+
+// Bind resolves every column reference in e against schema, setting
+// Column.Index to the row position. Unqualified names match any table;
+// ambiguous unqualified names are an error. Bind mutates e in place.
+func Bind(e Expr, schema []ColumnID) error {
+	var err error
+	Walk(e, func(n Expr) bool {
+		c, ok := n.(*Column)
+		if !ok || err != nil {
+			return err == nil
+		}
+		idx := -1
+		for i, s := range schema {
+			if !strings.EqualFold(c.Name, s.Name) {
+				continue
+			}
+			if c.Table != "" && !strings.EqualFold(c.Table, s.Table) {
+				continue
+			}
+			if idx >= 0 && c.Table == "" {
+				err = fmt.Errorf("expr: ambiguous column %q", c.Name)
+				return false
+			}
+			idx = i
+			if c.Table != "" {
+				break
+			}
+		}
+		if idx < 0 {
+			err = fmt.Errorf("expr: unknown column %s", c)
+			return false
+		}
+		c.Index = idx
+		return true
+	})
+	return err
+}
+
+// MustBind binds and panics on failure; for tests and static plans.
+func MustBind(e Expr, schema []ColumnID) Expr {
+	if err := Bind(e, schema); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Eval evaluates a bound expression against a row. Aggregate nodes cannot be
+// evaluated here (the executor's aggregation operator handles them) and
+// return an error.
+func Eval(e Expr, row value.Row) (value.Value, error) {
+	switch t := e.(type) {
+	case *Lit:
+		return t.V, nil
+	case *Column:
+		if t.Index < 0 || t.Index >= len(row) {
+			return value.Value{}, fmt.Errorf("expr: unbound column %s (index %d, row width %d)", t, t.Index, len(row))
+		}
+		return row[t.Index], nil
+	case *Binary:
+		return evalBinary(t, row)
+	case *Unary:
+		x, err := Eval(t.X, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch t.Op {
+		case "NOT":
+			if x.IsNull() {
+				return value.NewNull(), nil
+			}
+			return value.NewBool(!x.Truth()), nil
+		case "-":
+			switch x.K {
+			case value.Int:
+				return value.NewInt(-x.I), nil
+			case value.Float:
+				return value.NewFloat(-x.F), nil
+			case value.Null:
+				return value.NewNull(), nil
+			}
+			return value.Value{}, fmt.Errorf("expr: cannot negate %s", x.K)
+		}
+		return value.Value{}, fmt.Errorf("expr: unknown unary op %q", t.Op)
+	case *In:
+		return evalIn(t, row)
+	case *Between:
+		x, err := Eval(t.X, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		lo, err := Eval(t.Lo, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		hi, err := Eval(t.Hi, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		c1, ok1 := value.Compare(x, lo)
+		c2, ok2 := value.Compare(x, hi)
+		if !ok1 || !ok2 {
+			return value.NewNull(), nil
+		}
+		res := c1 >= 0 && c2 <= 0
+		if t.Not {
+			res = !res
+		}
+		return value.NewBool(res), nil
+	case *IsNull:
+		x, err := Eval(t.X, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		res := x.IsNull()
+		if t.Not {
+			res = !res
+		}
+		return value.NewBool(res), nil
+	case *Agg:
+		return value.Value{}, fmt.Errorf("expr: aggregate %s evaluated outside aggregation operator", t.Fn)
+	}
+	return value.Value{}, fmt.Errorf("expr: cannot evaluate %T", e)
+}
+
+func evalBinary(b *Binary, row value.Row) (value.Value, error) {
+	switch b.Op {
+	case "AND":
+		l, err := Eval(b.L, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !l.IsNull() && !l.Truth() {
+			return value.NewBool(false), nil
+		}
+		r, err := Eval(b.R, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !r.IsNull() && !r.Truth() {
+			return value.NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return value.NewNull(), nil
+		}
+		return value.NewBool(true), nil
+	case "OR":
+		l, err := Eval(b.L, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !l.IsNull() && l.Truth() {
+			return value.NewBool(true), nil
+		}
+		r, err := Eval(b.R, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !r.IsNull() && r.Truth() {
+			return value.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return value.NewNull(), nil
+		}
+		return value.NewBool(false), nil
+	}
+	l, err := Eval(b.L, row)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := Eval(b.R, row)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch b.Op {
+	case "+", "-", "*", "/", "%":
+		return value.Arith(b.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, ok := value.Compare(l, r)
+		if !ok {
+			return value.NewNull(), nil
+		}
+		var res bool
+		switch b.Op {
+		case "=":
+			res = c == 0
+		case "<>":
+			res = c != 0
+		case "<":
+			res = c < 0
+		case "<=":
+			res = c <= 0
+		case ">":
+			res = c > 0
+		case ">=":
+			res = c >= 0
+		}
+		return value.NewBool(res), nil
+	}
+	return value.Value{}, fmt.Errorf("expr: unknown binary op %q", b.Op)
+}
+
+func evalIn(t *In, row value.Row) (value.Value, error) {
+	x, err := Eval(t.X, row)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if x.IsNull() {
+		return value.NewNull(), nil
+	}
+	sawNull := false
+	for _, item := range t.List {
+		v, err := Eval(item, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if value.Equal(x, v) {
+			return value.NewBool(!t.Not), nil
+		}
+	}
+	if sawNull {
+		return value.NewNull(), nil
+	}
+	return value.NewBool(t.Not), nil
+}
+
+// EvalBool evaluates a predicate, mapping NULL to false (WHERE semantics).
+func EvalBool(e Expr, row value.Row) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := Eval(e, row)
+	if err != nil {
+		return false, err
+	}
+	return v.Truth(), nil
+}

@@ -1,0 +1,70 @@
+package localopt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qtrade/internal/sqlparse"
+)
+
+// randomTelcoQuery builds a random valid query over the telco fixture.
+func randomTelcoQuery(r *rand.Rand) string {
+	preds := []string{
+		"c.office = 'Corfu'",
+		"c.office IN ('Corfu', 'Athens')",
+		"c.custid > %d",
+		"i.charge BETWEEN 5 AND 15",
+		"i.charge <> 7",
+		"c.custid < %d OR i.charge > 10",
+	}
+	var where []string
+	where = append(where, "c.custid = i.custid")
+	n := r.Intn(3)
+	for k := 0; k < n; k++ {
+		p := preds[r.Intn(len(preds))]
+		p = strings.ReplaceAll(p, "%d", fmt.Sprint(r.Intn(5)))
+		where = append(where, p)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return "SELECT c.custname, i.charge FROM customer c, invoiceline i WHERE " +
+			strings.Join(where, " AND ")
+	case 1:
+		return "SELECT c.office, SUM(i.charge) AS s, COUNT(*) AS n FROM customer c, invoiceline i WHERE " +
+			strings.Join(where, " AND ") + " GROUP BY c.office"
+	default:
+		return "SELECT DISTINCT c.office FROM customer c, invoiceline i WHERE " +
+			strings.Join(where, " AND ")
+	}
+}
+
+// Property: the DP optimizer's best plan always produces the same rows as
+// brute-force (cross join + filter) evaluation, across random queries.
+func TestQuickOptimizeMatchesNaive(t *testing.T) {
+	sch := telcoSchema()
+	st := telcoStore(t, sch)
+	r := rand.New(rand.NewSource(123))
+	for i := 0; i < 60; i++ {
+		q := randomTelcoQuery(r)
+		res := optimize(t, q, sch, st)
+		sel := sqlparse.MustParseSelect(q)
+		want := runRows(t, st, naivePlan(t, sel, sch, st))
+		got := runRows(t, st, res.Best.Plan)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Fatalf("query %d: %s\n  optimizer and naive disagree: %d vs %d rows",
+				i, q, len(got), len(want))
+		}
+		// Every partial's plan must also match its own subquery's naive
+		// evaluation.
+		for _, p := range res.Partials {
+			pw := runRows(t, st, naivePlan(t, p.SQL, sch, st))
+			pg := runRows(t, st, p.Plan)
+			if strings.Join(pg, "|") != strings.Join(pw, "|") {
+				t.Fatalf("query %d partial %v: %s\n  disagree: %d vs %d rows",
+					i, p.Bindings, p.SQL.SQL(), len(pg), len(pw))
+			}
+		}
+	}
+}

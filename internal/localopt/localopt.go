@@ -1,0 +1,626 @@
+// Package localopt is the System-R style cost-based optimizer every
+// federation node runs over its local fragments. It is modified exactly as
+// §3.4 of the paper prescribes: while the classic dynamic program prunes
+// sub-optimal access paths — first two-way joins, then three-way, and so on —
+// this optimizer *retains* the optimal partial result of every relation
+// subset it visits, because those partial results are precisely the
+// query-answers a seller can offer to the buyer during trading.
+package localopt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/cost"
+	"qtrade/internal/expr"
+	"qtrade/internal/plan"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/stats"
+	"qtrade/internal/storage"
+)
+
+// Partial is one optimal partial result: the best local plan answering the
+// subquery over a subset of the query's relations (§3.4's set D).
+type Partial struct {
+	Bindings []string         // FROM bindings covered, in FROM order
+	SQL      *sqlparse.Select // the subquery this partial answers
+	Plan     plan.Node
+	Cost     float64 // estimated local execution cost (ms)
+	Rows     int64
+	Bytes    float64 // estimated result size
+}
+
+// Result is the optimizer output: the best full plan plus every optimal
+// k-way partial.
+type Result struct {
+	Best     *Partial
+	Partials []*Partial
+}
+
+// Optimize runs the modified DP over the query's FROM relations using the
+// node's local fragments. Every table referenced must have at least one
+// local fragment (run the rewrite package first on foreign queries).
+func Optimize(sel *sqlparse.Select, sch *catalog.Schema, store *storage.Store, m *cost.Model) (*Result, error) {
+	o := &optimizer{sel: sel, sch: sch, store: store, m: m}
+	return o.run()
+}
+
+type baseRel struct {
+	ref      sqlparse.TableRef
+	def      *catalog.TableDef
+	node     plan.Node // union of filtered fragment scans
+	cost     float64
+	rows     int64
+	st       *stats.TableStats // scaled by local predicate selectivity
+	localPrd expr.Expr
+}
+
+type dpEntry struct {
+	node plan.Node
+	cost float64
+	rows int64
+}
+
+type optimizer struct {
+	sel   *sqlparse.Select
+	sch   *catalog.Schema
+	store *storage.Store
+	m     *cost.Model
+
+	rels      []*baseRel
+	joinPreds []joinPred
+	extra     []expr.Expr // conjuncts spanning >2 relations (applied at top)
+	needCols  map[string][]string
+}
+
+type joinPred struct {
+	e    expr.Expr
+	mask uint // bindings referenced
+	equi bool
+}
+
+func (o *optimizer) run() (*Result, error) {
+	if len(o.sel.From) == 0 {
+		return nil, fmt.Errorf("localopt: query has no FROM relations")
+	}
+	if len(o.sel.From) > 20 {
+		return nil, fmt.Errorf("localopt: %d relations exceed DP limit", len(o.sel.From))
+	}
+	if err := o.buildBase(); err != nil {
+		return nil, err
+	}
+	o.classifyPredicates()
+	o.collectNeededColumns()
+
+	n := len(o.rels)
+	full := uint(1)<<n - 1
+	dp := make(map[uint]dpEntry, 1<<n)
+	for i, r := range o.rels {
+		dp[1<<i] = dpEntry{node: r.node, cost: r.cost, rows: r.rows}
+	}
+	// Enumerate subsets in increasing popcount, all splits (bushy DP).
+	masks := make([]uint, 0, 1<<n)
+	for m := uint(1); m <= full; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := bits.OnesCount(uint(masks[i])), bits.OnesCount(uint(masks[j]))
+		if pi != pj {
+			return pi < pj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, mask := range masks {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		best, ok := dp[mask]
+		_ = best
+		found := ok
+		trySplit := func(requireConnected bool) {
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				other := mask &^ sub
+				if sub > other {
+					continue // each unordered split once
+				}
+				l, okl := dp[sub]
+				r, okr := dp[other]
+				if !okl || !okr {
+					continue
+				}
+				preds := o.connecting(sub, other)
+				if requireConnected && len(preds) == 0 {
+					continue
+				}
+				entry := o.joinEntry(l, r, sub, other, preds)
+				if !found || entry.cost < dp[mask].cost {
+					dp[mask] = entry
+					found = true
+				}
+			}
+		}
+		trySplit(true)
+		if !found {
+			trySplit(false) // forced cross product for disconnected queries
+		}
+		if !found {
+			return nil, fmt.Errorf("localopt: no plan for relation subset %b", mask)
+		}
+	}
+
+	res := &Result{}
+	for _, mask := range masks {
+		entry := dp[mask]
+		p, err := o.finishPartial(mask, entry, full)
+		if err != nil {
+			return nil, err
+		}
+		res.Partials = append(res.Partials, p)
+		if mask == full {
+			res.Best = p
+		}
+	}
+	return res, nil
+}
+
+// buildBase constructs the access path of each FROM relation: the union of
+// the node's local fragments with pushed-down single-relation predicates and
+// partition pruning.
+func (o *optimizer) buildBase() error {
+	for _, tr := range o.sel.From {
+		def, ok := o.sch.Table(tr.Name)
+		if !ok {
+			return fmt.Errorf("localopt: unknown table %q", tr.Name)
+		}
+		frs := o.store.Fragments(tr.Name)
+		if len(frs) == 0 {
+			return fmt.Errorf("localopt: no local fragments of %q (rewrite foreign queries first)", tr.Name)
+		}
+		o.rels = append(o.rels, &baseRel{ref: tr, def: def})
+	}
+	// Single-relation conjuncts push into the base relation.
+	bindLower := make([]string, len(o.rels))
+	for i, r := range o.rels {
+		bindLower[i] = strings.ToLower(r.ref.Binding())
+	}
+	for _, c := range expr.Conjuncts(o.sel.Where) {
+		tabs := referencedBindings(c, bindLower)
+		if bits.OnesCount(uint(tabs)) == 1 {
+			idx := bits.TrailingZeros(uint(tabs))
+			o.rels[idx].localPrd = expr.And([]expr.Expr{o.rels[idx].localPrd, c})
+		}
+	}
+	for _, r := range o.rels {
+		if err := o.buildAccessPath(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// referencedBindings returns the bitmask of FROM bindings a conjunct
+// references. Unqualified columns resolve to the unique binding exposing the
+// column name when possible.
+func referencedBindings(e expr.Expr, bindings []string) uint {
+	var mask uint
+	for _, c := range expr.Columns(e) {
+		if c.Table == "" {
+			continue // resolved against full schema at bind time
+		}
+		lt := strings.ToLower(c.Table)
+		for i, b := range bindings {
+			if b == lt {
+				mask |= 1 << i
+			}
+		}
+	}
+	return mask
+}
+
+func (o *optimizer) buildAccessPath(r *baseRel) error {
+	binding := r.ref.Binding()
+	// The local predicate with alias-stripped column names for selectivity.
+	var scans []plan.Node
+	var totalCost float64
+	var totalRows int64
+	var merged *stats.TableStats
+	for _, f := range o.store.Fragments(r.ref.Name) {
+		fs, err := o.store.FragmentStats(r.ref.Name, f.PartID)
+		if err != nil {
+			return err
+		}
+		// Partition pruning: skip fragments whose defining predicate
+		// contradicts the pushed-down predicate.
+		if part, ok := o.sch.Partition(r.ref.Name, f.PartID); ok && part.Predicate != nil && r.localPrd != nil {
+			combined := expr.And([]expr.Expr{
+				stripQualifiers(r.localPrd),
+				stripQualifiers(part.Predicate),
+			})
+			if expr.Unsatisfiable(expr.Simplify(combined)) {
+				continue
+			}
+		}
+		sel := 1.0
+		if r.localPrd != nil {
+			sel = stats.Selectivity(fs, stripQualifiers(r.localPrd))
+		}
+		scan := &plan.Scan{Def: r.def, Alias: binding, PartID: f.PartID}
+		if r.localPrd != nil {
+			scan.Pred = expr.Clone(r.localPrd)
+		}
+		scans = append(scans, scan)
+		totalCost += o.m.Scan(fs.Rows)
+		rows := int64(math.Ceil(float64(fs.Rows) * sel))
+		totalRows += rows
+		merged = stats.Merge(merged, fs.Scale(sel))
+	}
+	if len(scans) == 0 {
+		// All fragments pruned: an empty relation. Represent with a scan of
+		// the first fragment plus an always-false filter to keep plan shape.
+		frs := o.store.Fragments(r.ref.Name)
+		scans = append(scans, &plan.Scan{Def: r.def, Alias: binding, PartID: frs[0].PartID, Pred: expr.FalseExpr()})
+		merged = stats.FromRows(r.def, nil)
+	}
+	if len(scans) == 1 {
+		r.node = scans[0]
+	} else {
+		r.node = &plan.Union{Inputs: scans}
+	}
+	r.cost = totalCost
+	r.rows = totalRows
+	r.st = merged
+	return nil
+}
+
+// stripQualifiers rewrites alias-qualified columns to bare names so they can
+// be evaluated against single-table schemas and statistics.
+func stripQualifiers(e expr.Expr) expr.Expr {
+	if e == nil {
+		return nil
+	}
+	return expr.Transform(expr.Clone(e), func(n expr.Expr) expr.Expr {
+		if c, ok := n.(*expr.Column); ok && c.Table != "" {
+			return &expr.Column{Name: c.Name, Index: -1}
+		}
+		return n
+	})
+}
+
+func (o *optimizer) classifyPredicates() {
+	bindLower := make([]string, len(o.rels))
+	for i, r := range o.rels {
+		bindLower[i] = strings.ToLower(r.ref.Binding())
+	}
+	for _, c := range expr.Conjuncts(o.sel.Where) {
+		mask := referencedBindings(c, bindLower)
+		n := bits.OnesCount(uint(mask))
+		switch {
+		case n <= 1:
+			// handled in buildBase (or constant; constants fold earlier)
+		case n == 2:
+			o.joinPreds = append(o.joinPreds, joinPred{e: c, mask: mask, equi: isEquiPred(c)})
+		default:
+			o.extra = append(o.extra, c)
+		}
+	}
+}
+
+func isEquiPred(e expr.Expr) bool {
+	b, ok := e.(*expr.Binary)
+	return ok && b.Op == "="
+}
+
+// connecting returns join predicates linking the two subsets.
+func (o *optimizer) connecting(a, b uint) []joinPred {
+	var out []joinPred
+	for _, jp := range o.joinPreds {
+		if jp.mask&a != 0 && jp.mask&b != 0 && jp.mask&^(a|b) == 0 {
+			out = append(out, jp)
+		}
+	}
+	return out
+}
+
+// joinEntry builds the DP entry for joining two solved subsets.
+func (o *optimizer) joinEntry(l, r dpEntry, lMask, rMask uint, preds []joinPred) dpEntry {
+	var on []expr.Expr
+	hasEqui := false
+	rows := float64(l.rows) * float64(r.rows)
+	for _, jp := range preds {
+		on = append(on, expr.Clone(jp.e))
+		if jp.equi {
+			hasEqui = true
+			rows /= float64(o.equiNDV(jp))
+		} else {
+			rows /= 3
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	outRows := int64(math.Ceil(rows))
+	var joinCost float64
+	if hasEqui {
+		build, probe := l.rows, r.rows
+		if build > probe {
+			build, probe = probe, build
+		}
+		joinCost = o.m.HashJoin(build, probe, outRows)
+	} else {
+		joinCost = o.m.NLJoin(l.rows, r.rows, outRows)
+	}
+	// Build side: put the smaller input on the right (executor builds on R).
+	left, right := l.node, r.node
+	if l.rows < r.rows {
+		left, right = r.node, l.node
+	}
+	node := &plan.Join{L: left, R: right, On: expr.And(on)}
+	return dpEntry{node: node, cost: l.cost + r.cost + joinCost, rows: outRows}
+}
+
+// equiNDV estimates the distinct count of an equi-join key, using the larger
+// side per the containment assumption.
+func (o *optimizer) equiNDV(jp joinPred) int64 {
+	var ndv int64 = 1
+	for _, c := range expr.Columns(jp.e) {
+		for i, r := range o.rels {
+			if jp.mask&(1<<i) == 0 {
+				continue
+			}
+			if c.Table != "" && !strings.EqualFold(c.Table, r.ref.Binding()) {
+				continue
+			}
+			if cs := r.st.Col(c.Name); cs != nil && cs.NDV > ndv {
+				ndv = cs.NDV
+			}
+		}
+	}
+	return ndv
+}
+
+// collectNeededColumns records, per binding, the columns of that relation
+// referenced anywhere in the query; partial-result offers project onto them.
+func (o *optimizer) collectNeededColumns() {
+	o.needCols = map[string][]string{}
+	seen := map[string]map[string]bool{}
+	addCols := func(e expr.Expr) {
+		for _, c := range expr.Columns(e) {
+			o.addNeeded(seen, c)
+		}
+	}
+	for _, it := range o.sel.Items {
+		if it.Star {
+			for _, r := range o.rels {
+				for _, cd := range r.def.Columns {
+					o.addNeeded(seen, &expr.Column{Table: r.ref.Binding(), Name: cd.Name})
+				}
+			}
+			continue
+		}
+		addCols(it.Expr)
+	}
+	addCols(o.sel.Where)
+	for _, g := range o.sel.GroupBy {
+		addCols(g)
+	}
+	addCols(o.sel.Having)
+	for _, ob := range o.sel.OrderBy {
+		addCols(ob.Expr)
+	}
+}
+
+func (o *optimizer) addNeeded(seen map[string]map[string]bool, c *expr.Column) {
+	// Resolve the binding: qualified columns name it; unqualified columns
+	// match the unique relation exposing that column name.
+	var binding string
+	if c.Table != "" {
+		binding = strings.ToLower(c.Table)
+	} else {
+		matches := 0
+		for _, r := range o.rels {
+			if r.def.ColumnIndex(c.Name) >= 0 {
+				binding = strings.ToLower(r.ref.Binding())
+				matches++
+			}
+		}
+		if matches != 1 {
+			return
+		}
+	}
+	m := seen[binding]
+	if m == nil {
+		m = map[string]bool{}
+		seen[binding] = m
+	}
+	lc := strings.ToLower(c.Name)
+	if !m[lc] {
+		m[lc] = true
+		o.needCols[binding] = append(o.needCols[binding], c.Name)
+	}
+}
+
+// finishPartial turns a DP entry into an offered partial result with its
+// subquery text. The full-relation entry additionally gets the query's
+// aggregation/ordering phase and the >2-relation residual conjuncts.
+func (o *optimizer) finishPartial(mask uint, entry dpEntry, full uint) (*Partial, error) {
+	p := &Partial{Cost: entry.cost, Rows: entry.rows}
+	var rowBytes float64
+	for i, r := range o.rels {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		p.Bindings = append(p.Bindings, r.ref.Binding())
+		used := len(o.needCols[strings.ToLower(r.ref.Binding())])
+		if total := len(r.def.Columns); total > 0 && r.st != nil {
+			rowBytes += r.st.RowBytes * float64(used) / float64(total)
+		}
+	}
+	if mask == full {
+		node := entry.node
+		if len(o.extra) > 0 {
+			node = &plan.Filter{Input: node, Pred: expr.And(cloneAll(o.extra))}
+			p.Cost += o.m.Filter(entry.rows)
+		}
+		finished, err := plan.FinalizeSelect(o.sel, node)
+		if err != nil {
+			return nil, err
+		}
+		p.Plan = finished
+		p.SQL = o.sel.Clone()
+		if o.sel.HasAggregates() || len(o.sel.GroupBy) > 0 {
+			groups := estimateGroups(entry.rows, len(o.sel.GroupBy))
+			p.Cost += o.m.Aggregate(entry.rows, groups)
+			p.Rows = groups
+		}
+		if len(o.sel.OrderBy) > 0 {
+			p.Cost += o.m.Sort(p.Rows)
+		}
+		if o.sel.Limit >= 0 && p.Rows > o.sel.Limit {
+			p.Rows = o.sel.Limit
+		}
+		p.Bytes = float64(p.Rows) * math.Max(rowBytes, 8)
+		return p, nil
+	}
+	sub := o.Subquery(mask)
+	p.SQL = sub
+	finished, err := plan.FinalizeSelect(sub, entry.node)
+	if err != nil {
+		return nil, err
+	}
+	p.Plan = finished
+	p.Bytes = float64(p.Rows) * math.Max(rowBytes, 8)
+	return p, nil
+}
+
+func cloneAll(es []expr.Expr) []expr.Expr {
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = expr.Clone(e)
+	}
+	return out
+}
+
+// estimateGroups guesses the output cardinality of an aggregation.
+func estimateGroups(rows int64, groupCols int) int64 {
+	if groupCols == 0 {
+		return 1
+	}
+	g := int64(math.Ceil(math.Sqrt(float64(rows)))) * int64(groupCols)
+	if g > rows {
+		g = rows
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Subquery builds the SPJ subquery over a subset of the query's relations:
+// the needed columns of those relations, their FROM entries, and the WHERE
+// conjuncts referencing only them. This is the query text shipped in offers
+// and RFBs.
+func (o *optimizer) Subquery(mask uint) *sqlparse.Select {
+	sub := &sqlparse.Select{Limit: -1}
+	keep := map[string]bool{}
+	for i, r := range o.rels {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		sub.From = append(sub.From, r.ref)
+		b := strings.ToLower(r.ref.Binding())
+		keep[b] = true
+		for _, cn := range o.needCols[b] {
+			sub.Items = append(sub.Items, sqlparse.SelectItem{Expr: expr.NewColumn(r.ref.Binding(), cn)})
+		}
+	}
+	if len(sub.Items) == 0 {
+		// Degenerate: no referenced columns (e.g. COUNT(*) only); expose the
+		// first column so the subquery stays valid.
+		first := o.rels[bits.TrailingZeros(mask)]
+		sub.Items = append(sub.Items, sqlparse.SelectItem{Expr: expr.NewColumn(first.ref.Binding(), first.def.Columns[0].Name)})
+	}
+	// Canonical item order so equivalent subqueries offered by different
+	// sellers are union-compatible at the buyer.
+	sort.SliceStable(sub.Items, func(i, j int) bool {
+		return sub.Items[i].Expr.String() < sub.Items[j].Expr.String()
+	})
+	var conj []expr.Expr
+	for _, c := range expr.Conjuncts(o.sel.Where) {
+		all := true
+		for _, col := range expr.Columns(c) {
+			if col.Table == "" {
+				continue
+			}
+			if !keep[strings.ToLower(col.Table)] {
+				all = false
+				break
+			}
+		}
+		if all {
+			conj = append(conj, expr.Clone(c))
+		}
+	}
+	sub.Where = expr.And(conj)
+	return sub
+}
+
+// SubqueryFor exposes subquery construction for a binding subset by name;
+// used by the buyer predicates analyser.
+func SubqueryFor(sel *sqlparse.Select, bindings []string) *sqlparse.Select {
+	o := &optimizer{sel: sel}
+	for _, tr := range sel.From {
+		o.rels = append(o.rels, &baseRel{ref: tr, def: &catalog.TableDef{Name: tr.Name, Columns: []catalog.ColumnDef{{Name: "_"}}}})
+	}
+	o.collectNeededColumnsLoose()
+	var mask uint
+	for i, r := range o.rels {
+		for _, b := range bindings {
+			if strings.EqualFold(r.ref.Binding(), b) {
+				mask |= 1 << i
+			}
+		}
+	}
+	return o.Subquery(mask)
+}
+
+// collectNeededColumnsLoose collects needed columns using only qualified
+// references (no table definitions available).
+func (o *optimizer) collectNeededColumnsLoose() {
+	o.needCols = map[string][]string{}
+	seen := map[string]map[string]bool{}
+	add := func(e expr.Expr) {
+		for _, c := range expr.Columns(e) {
+			if c.Table == "" {
+				continue
+			}
+			b := strings.ToLower(c.Table)
+			m := seen[b]
+			if m == nil {
+				m = map[string]bool{}
+				seen[b] = m
+			}
+			lc := strings.ToLower(c.Name)
+			if !m[lc] {
+				m[lc] = true
+				o.needCols[b] = append(o.needCols[b], c.Name)
+			}
+		}
+	}
+	for _, it := range o.sel.Items {
+		if !it.Star {
+			add(it.Expr)
+		}
+	}
+	add(o.sel.Where)
+	for _, g := range o.sel.GroupBy {
+		add(g)
+	}
+	add(o.sel.Having)
+	for _, ob := range o.sel.OrderBy {
+		add(ob.Expr)
+	}
+}

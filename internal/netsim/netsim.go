@@ -1,0 +1,216 @@
+// Package netsim simulates the federation's network: an in-process message
+// bus connecting autonomous nodes, with exact message and byte accounting
+// and a parameterized latency model. The paper's experiments report
+// optimization time and messages exchanged; both are functions of the
+// protocol traffic this package observes, not of physical hardware, which is
+// why an in-process bus reproduces their shape (see DESIGN.md,
+// substitutions). A real net/rpc transport with the same interface lives in
+// rpc.go for multi-process deployments.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"qtrade/internal/trading"
+)
+
+// Service is the seller-side surface a federation node exposes to peers.
+type Service interface {
+	RequestBids(trading.RFB) ([]trading.Offer, error)
+	ImproveBids(trading.ImproveReq) ([]trading.Offer, error)
+	Award(trading.Award) error
+	Execute(trading.ExecReq) (trading.ExecResp, error)
+}
+
+// Network is the in-process bus. The zero value is not usable; call New.
+type Network struct {
+	// LatencyMS is the simulated per-message latency, accounted (never
+	// slept) into SimTimeMS.
+	LatencyMS float64
+
+	mu    sync.RWMutex
+	nodes map[string]Service
+	down  map[string]bool
+
+	messages  atomic.Int64
+	bytes     atomic.Int64
+	simTimeMS uint64 // float64 bits, updated via CAS
+}
+
+// New returns an empty network with 1 ms simulated latency.
+func New() *Network {
+	return &Network{LatencyMS: 1, nodes: map[string]Service{}, down: map[string]bool{}}
+}
+
+// Register attaches a node's service under its id, replacing any previous
+// registration.
+func (n *Network) Register(id string, svc Service) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = svc
+}
+
+// NodeIDs lists registered nodes, sorted.
+func (n *Network) NodeIDs() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDown marks a node unreachable (fault injection for robustness tests).
+func (n *Network) SetDown(id string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// Stats returns the total messages and bytes since the last Reset.
+func (n *Network) Stats() (messages, bytes int64) {
+	return n.messages.Load(), n.bytes.Load()
+}
+
+// SimTimeMS returns the accumulated simulated network time.
+func (n *Network) SimTimeMS() float64 {
+	return atomicLoadFloat(&n.simTimeMS)
+}
+
+// Reset zeroes the counters.
+func (n *Network) Reset() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+	atomicStoreFloat(&n.simTimeMS, 0)
+}
+
+func (n *Network) lookup(to string) (Service, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down[to] {
+		return nil, fmt.Errorf("netsim: node %q is down", to)
+	}
+	svc, ok := n.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %q", to)
+	}
+	return svc, nil
+}
+
+// account records one request/response exchange.
+func (n *Network) account(reqBytes, respBytes int) {
+	n.messages.Add(2)
+	n.bytes.Add(int64(reqBytes + respBytes))
+	atomicAddFloat(&n.simTimeMS, 2*n.LatencyMS)
+}
+
+// Peer returns a counting Peer from one node to another.
+func (n *Network) Peer(from, to string) trading.Peer {
+	return &simPeer{net: n, from: from, to: to}
+}
+
+// Peers returns counting peers from one node to every other registered node.
+func (n *Network) Peers(from string) map[string]trading.Peer {
+	out := map[string]trading.Peer{}
+	for _, id := range n.NodeIDs() {
+		if id != from {
+			out[id] = n.Peer(from, id)
+		}
+	}
+	return out
+}
+
+// Execute performs a purchased-answer fetch with full accounting.
+func (n *Network) Execute(from, to string, req trading.ExecReq) (trading.ExecResp, error) {
+	svc, err := n.lookup(to)
+	if err != nil {
+		return trading.ExecResp{}, err
+	}
+	resp, err := svc.Execute(req)
+	if err != nil {
+		return trading.ExecResp{}, err
+	}
+	n.account(req.WireSize(), resp.WireSize())
+	return resp, nil
+}
+
+// Award delivers an award notification with accounting.
+func (n *Network) Award(from, to string, aw trading.Award) error {
+	svc, err := n.lookup(to)
+	if err != nil {
+		return err
+	}
+	if err := svc.Award(aw); err != nil {
+		return err
+	}
+	n.account(aw.WireSize(), 8)
+	return nil
+}
+
+type simPeer struct {
+	net  *Network
+	from string
+	to   string
+}
+
+// RequestBids implements trading.Peer.
+func (p *simPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+	svc, err := p.net.lookup(p.to)
+	if err != nil {
+		return nil, err
+	}
+	offers, err := svc.RequestBids(rfb)
+	if err != nil {
+		return nil, err
+	}
+	respBytes := 8
+	for i := range offers {
+		respBytes += offers[i].WireSize()
+	}
+	p.net.account(rfb.WireSize(), respBytes)
+	return offers, nil
+}
+
+// Execute fetches a purchased answer from the peer with full accounting
+// (used directly by subcontracting sellers).
+func (p *simPeer) Execute(req trading.ExecReq) (trading.ExecResp, error) {
+	return p.net.Execute(p.from, p.to, req)
+}
+
+// ImproveBids implements trading.Peer.
+func (p *simPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+	svc, err := p.net.lookup(p.to)
+	if err != nil {
+		return nil, err
+	}
+	offers, err := svc.ImproveBids(req)
+	if err != nil {
+		return nil, err
+	}
+	respBytes := 8
+	for i := range offers {
+		respBytes += offers[i].WireSize()
+	}
+	p.net.account(req.WireSize(), respBytes)
+	return offers, nil
+}
+
+// atomic float helpers (no atomic.Float64 in the stdlib).
+
+func atomicAddFloat(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		newBits := floatBits(floatFromBits(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, newBits) {
+			return
+		}
+	}
+}
+
+func atomicStoreFloat(addr *uint64, v float64) { atomic.StoreUint64(addr, floatBits(v)) }
+func atomicLoadFloat(addr *uint64) float64     { return floatFromBits(atomic.LoadUint64(addr)) }

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"math"
+	"net"
+	"net/rpc"
+
+	"qtrade/internal/trading"
+)
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// RPCService adapts a Service to the net/rpc calling convention so a node can
+// be served over TCP (see cmd/qtnode). Answers are gob-encoded; value.Value
+// has exported fields, so rows ship without custom codecs.
+type RPCService struct {
+	Svc Service
+}
+
+// RequestBids is the net/rpc method for RFBs.
+func (r *RPCService) RequestBids(rfb *trading.RFB, reply *[]trading.Offer) error {
+	offers, err := r.Svc.RequestBids(*rfb)
+	if err != nil {
+		return err
+	}
+	*reply = offers
+	return nil
+}
+
+// ImproveBids is the net/rpc method for improvement rounds.
+func (r *RPCService) ImproveBids(req *trading.ImproveReq, reply *[]trading.Offer) error {
+	offers, err := r.Svc.ImproveBids(*req)
+	if err != nil {
+		return err
+	}
+	*reply = offers
+	return nil
+}
+
+// Award is the net/rpc method for award notifications.
+func (r *RPCService) Award(aw *trading.Award, reply *bool) error {
+	if err := r.Svc.Award(*aw); err != nil {
+		return err
+	}
+	*reply = true
+	return nil
+}
+
+// Execute is the net/rpc method for purchased-answer delivery.
+func (r *RPCService) Execute(req *trading.ExecReq, reply *trading.ExecResp) error {
+	resp, err := r.Svc.Execute(*req)
+	if err != nil {
+		return err
+	}
+	*reply = resp
+	return nil
+}
+
+// ServeRPC exposes a node service on a TCP address. It returns the listener
+// (close it to stop) and serves connections on background goroutines.
+func ServeRPC(addr string, name string, svc Service) (net.Listener, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(name, &RPCService{Svc: svc}); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln, nil
+}
+
+// RPCPeer is a trading.Peer speaking net/rpc to a remote node.
+type RPCPeer struct {
+	Name   string // registered service name on the remote side
+	client *rpc.Client
+}
+
+// DialPeer connects to a node served by ServeRPC.
+func DialPeer(addr, name string) (*RPCPeer, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCPeer{Name: name, client: c}, nil
+}
+
+// RequestBids implements trading.Peer.
+func (p *RPCPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+	var reply []trading.Offer
+	err := p.client.Call(p.Name+".RequestBids", &rfb, &reply)
+	return reply, err
+}
+
+// ImproveBids implements trading.Peer.
+func (p *RPCPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+	var reply []trading.Offer
+	err := p.client.Call(p.Name+".ImproveBids", &req, &reply)
+	return reply, err
+}
+
+// Award notifies the remote node of a win.
+func (p *RPCPeer) Award(aw trading.Award) error {
+	var ok bool
+	return p.client.Call(p.Name+".Award", &aw, &ok)
+}
+
+// Execute fetches a purchased answer.
+func (p *RPCPeer) Execute(req trading.ExecReq) (trading.ExecResp, error) {
+	var resp trading.ExecResp
+	err := p.client.Call(p.Name+".Execute", &req, &resp)
+	return resp, err
+}
+
+// Close releases the connection.
+func (p *RPCPeer) Close() error { return p.client.Close() }

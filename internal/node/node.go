@@ -1,0 +1,654 @@
+// Package node implements a federation node: an autonomous DBMS wrapping the
+// local storage engine, statistics and System-R optimizer, plus the
+// seller-side trading modules of Figure 3 — the partial query constructor
+// and cost estimator (rewrite + modified DP), the seller predicates analyser
+// (materialized-view offers), and the seller strategy module (pricing).
+//
+// A node never executes anything while negotiating: RequestBids and
+// ImproveBids price offers purely from optimizer estimates; only Execute —
+// sent by a buyer for a purchased answer after optimization has finished —
+// touches data.
+package node
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/cost"
+	"qtrade/internal/exec"
+	"qtrade/internal/expr"
+	"qtrade/internal/localopt"
+	"qtrade/internal/plan"
+	"qtrade/internal/rewrite"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/storage"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+	"qtrade/internal/views"
+)
+
+// Config configures a node.
+type Config struct {
+	ID      string
+	Schema  *catalog.Schema
+	Cost    *cost.Model  // nil = cost.Default()
+	Weights cost.Weights // zero = cost.DefaultWeights()
+	// Strategy prices offers; nil = trading.Cooperative{}.
+	Strategy trading.SellerStrategy
+	// MaxOffersPerQuery caps how many partial-result offers a seller sends
+	// per requested query (0 = 24).
+	MaxOffersPerQuery int
+	// DisableViews turns the seller predicates analyser off (ablation F7).
+	DisableViews bool
+	// DisableAggPush turns partial-aggregate offers off (ablation F11).
+	DisableAggPush bool
+	// SubcontractPeers, when set, enables the §3.5 subcontracting
+	// procedure: the node purchases missing fragments of partially held
+	// relations from these peers and offers complete extents. Only Depth-0
+	// RFBs are subcontracted.
+	SubcontractPeers func() map[string]trading.Peer
+	// SubcontractFetch fetches a purchased fragment from a subcontractor at
+	// execution time when the peers do not expose an Execute method
+	// themselves (e.g. pure trading.Peer implementations).
+	SubcontractFetch func(peerID string, req trading.ExecReq) (trading.ExecResp, error)
+}
+
+type standingOffer struct {
+	offer trading.Offer
+	truth float64
+}
+
+// Node is one autonomous federation member. It implements netsim.Service.
+type Node struct {
+	cfg   Config
+	store *storage.Store
+
+	mu           sync.Mutex
+	standing     map[string]map[string]*standingOffer // rfbID -> offerID
+	rfbOrder     []string                             // standing eviction order
+	subcontracts map[string]*subcontract              // offerID -> assembly
+	offerSeq     atomic.Int64
+	active       atomic.Int64 // executions in flight, for load-aware pricing
+}
+
+// maxStandingRFBs bounds the per-node negotiation state: a long-lived seller
+// forgets its oldest RFBs' standing offers (buyers that stall that long have
+// abandoned the negotiation anyway).
+const maxStandingRFBs = 128
+
+// New creates a node with an empty store.
+func New(cfg Config) *Node {
+	if cfg.Cost == nil {
+		cfg.Cost = cost.Default()
+	}
+	if (cfg.Weights == cost.Weights{}) {
+		cfg.Weights = cost.DefaultWeights()
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = trading.Cooperative{}
+	}
+	if cfg.MaxOffersPerQuery <= 0 {
+		cfg.MaxOffersPerQuery = 24
+	}
+	return &Node{
+		cfg:          cfg,
+		store:        storage.NewStore(),
+		standing:     map[string]map[string]*standingOffer{},
+		subcontracts: map[string]*subcontract{},
+	}
+}
+
+// ID returns the node id.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Store exposes local storage for loading data.
+func (n *Node) Store() *storage.Store { return n.store }
+
+// Schema returns the public logical schema.
+func (n *Node) Schema() *catalog.Schema { return n.cfg.Schema }
+
+// CostModel returns the node's cost constants.
+func (n *Node) CostModel() *cost.Model { return n.cfg.Cost }
+
+// Weights returns the federation valuation weights this node prices under.
+func (n *Node) Weights() cost.Weights { return n.cfg.Weights }
+
+// Load reports the node's current load factor (executions in flight).
+func (n *Node) Load() float64 { return float64(n.active.Load()) }
+
+// RequestBids implements the seller side of an RFB (steps S1–S2): rewrite
+// each requested query against local fragments, run the modified DP to price
+// every optimal partial result, add view-based offers, and price everything
+// through the strategy module.
+func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+	var out []trading.Offer
+	for _, qr := range rfb.Queries {
+		offers := n.offersFor(rfb, qr)
+		out = append(out, offers...)
+	}
+	n.mu.Lock()
+	m := n.standing[rfb.RFBID]
+	if m == nil {
+		m = map[string]*standingOffer{}
+		n.standing[rfb.RFBID] = m
+		n.rfbOrder = append(n.rfbOrder, rfb.RFBID)
+		for len(n.rfbOrder) > maxStandingRFBs {
+			evicted := n.rfbOrder[0]
+			n.rfbOrder = n.rfbOrder[1:]
+			for _, so := range n.standing[evicted] {
+				delete(n.subcontracts, so.offer.OfferID)
+			}
+			delete(n.standing, evicted)
+		}
+	}
+	for i := range out {
+		m[out[i].OfferID] = &standingOffer{offer: out[i], truth: trading.TruthScore(n.cfg.Weights, out[i].Props)}
+	}
+	n.mu.Unlock()
+	return out, nil
+}
+
+func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest) []trading.Offer {
+	sel, err := sqlparse.ParseSelect(qr.SQL)
+	if err != nil {
+		return nil
+	}
+	plan.Qualify(sel, n.cfg.Schema)
+	rw, err := rewrite.ForSeller(sel, n.cfg.Schema, n.store)
+	if err != nil {
+		return nil
+	}
+	res, err := localopt.Optimize(rw.Sel, n.cfg.Schema, n.store, n.cfg.Cost)
+	if err != nil {
+		return nil
+	}
+	origHasAgg := sel.HasAggregates() || len(sel.GroupBy) > 0
+	fullBindings := len(sel.From)
+	var cands []trading.Offer
+	for _, p := range res.Partials {
+		o, err := n.offerFromPartial(rfb, qr, rw, p, origHasAgg, fullBindings)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, o)
+	}
+	if !n.cfg.DisableViews {
+		cands = append(cands, n.viewOffers(rfb, qr, sel)...)
+	}
+	if n.cfg.SubcontractPeers != nil && rfb.Depth == 0 {
+		cands = append(cands, n.subcontractOffers(rfb, qr, sel, rw, res.Partials)...)
+	}
+	if origHasAgg && rw.Stripped && len(rw.Dropped) == 0 && !n.cfg.DisableAggPush {
+		if o, ok := n.partialAggOffer(rfb, qr, sel, rw, res); ok {
+			cands = append(cands, o)
+		}
+	}
+	// Cap by truthful value, cheapest first, keeping the widest coverage
+	// offers regardless (they are what the buyer most needs).
+	sort.SliceStable(cands, func(i, j int) bool {
+		if len(cands[i].Bindings) != len(cands[j].Bindings) {
+			return len(cands[i].Bindings) > len(cands[j].Bindings)
+		}
+		return cands[i].Props.TotalTime < cands[j].Props.TotalTime
+	})
+	if len(cands) > n.cfg.MaxOffersPerQuery {
+		cands = cands[:n.cfg.MaxOffersPerQuery]
+	}
+	return cands
+}
+
+func (n *Node) offerFromPartial(rfb trading.RFB, qr trading.QueryRequest, rw *rewrite.Rewritten, p *localopt.Partial, origHasAgg bool, fullBindings int) (trading.Offer, error) {
+	cols, err := OutputSpecs(p.SQL, n.cfg.Schema, n.store)
+	if err != nil {
+		return trading.Offer{}, err
+	}
+	parts := map[string][]string{}
+	coverage := 0.0
+	for _, b := range p.Bindings {
+		lb := strings.ToLower(b)
+		parts[lb] = rw.Parts[lb]
+		tr := p.SQL.FindFrom(b)
+		if tr != nil {
+			total := len(n.cfg.Schema.PartitionIDs(tr.Name))
+			if total > 0 {
+				coverage += float64(len(parts[lb])) / float64(total)
+			}
+		}
+	}
+	if len(p.Bindings) > 0 {
+		coverage /= float64(len(p.Bindings))
+	}
+	offerHasAgg := p.SQL.HasAggregates() || len(p.SQL.GroupBy) > 0
+	props := n.valuation(p.Cost, p.Rows, p.Bytes, coverage)
+	truth := trading.TruthScore(n.cfg.Weights, props)
+	o := trading.Offer{
+		OfferID:  fmt.Sprintf("%s/%s/o%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1)),
+		RFBID:    rfb.RFBID,
+		QID:      qr.QID,
+		SellerID: n.cfg.ID,
+		SQL:      p.SQL.SQL(),
+		Bindings: p.Bindings,
+		Parts:    parts,
+		Complete: rw.Complete && len(p.Bindings) == fullBindings,
+		Stripped: origHasAgg && !offerHasAgg,
+		Cols:     cols,
+		Props:    props,
+		Price:    n.cfg.Strategy.Price(qr.QID, truth),
+	}
+	return o, nil
+}
+
+// partialAggOffer offers per-fragment partial aggregates for a stripped
+// aggregation query whose aggregates decompose (aggregate pushdown): the
+// buyer merges group totals from disjoint fragments instead of
+// re-aggregating raw rows, cutting the shipped volume to one row per group.
+func (n *Node) partialAggOffer(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, res *localopt.Result) (trading.Offer, bool) {
+	d, ok := plan.DecomposeAggregates(sel)
+	if !ok || res.Best == nil {
+		return trading.Offer{}, false
+	}
+	psel := &sqlparse.Select{Limit: -1, From: sel.From, Items: d.PartialItems()}
+	if rw.Sel.Where != nil {
+		psel.Where = expr.Clone(rw.Sel.Where)
+	}
+	for _, g := range sel.GroupBy {
+		psel.GroupBy = append(psel.GroupBy, expr.Clone(g))
+	}
+	cols, err := OutputSpecs(psel, n.cfg.Schema, n.store)
+	if err != nil {
+		return trading.Offer{}, false
+	}
+	full := res.Best
+	groups := full.Rows/2 + 1
+	if len(sel.GroupBy) == 0 {
+		groups = 1
+	}
+	execCost := full.Cost + n.cfg.Cost.Aggregate(full.Rows, groups)
+	bytes := float64(groups) * float64(8*len(cols))
+	coverage := 0.0
+	for b, parts := range rw.Parts {
+		tr := sel.FindFrom(b)
+		if tr == nil {
+			continue
+		}
+		if total := len(n.cfg.Schema.PartitionIDs(tr.Name)); total > 0 {
+			coverage += float64(len(parts)) / float64(total)
+		}
+	}
+	if len(rw.Parts) > 0 {
+		coverage /= float64(len(rw.Parts))
+	}
+	props := n.valuation(execCost, groups, bytes, coverage)
+	truth := trading.TruthScore(n.cfg.Weights, props)
+	var bindings []string
+	for _, tr := range sel.From {
+		bindings = append(bindings, tr.Binding())
+	}
+	return trading.Offer{
+		OfferID:    fmt.Sprintf("%s/%s/a%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1)),
+		RFBID:      rfb.RFBID,
+		QID:        qr.QID,
+		SellerID:   n.cfg.ID,
+		SQL:        psel.SQL(),
+		Bindings:   bindings,
+		Parts:      rw.Parts,
+		Complete:   rw.Complete,
+		PartialAgg: true,
+		Cols:       cols,
+		Props:      props,
+		Price:      n.cfg.Strategy.Price(qr.QID, truth),
+	}, true
+}
+
+// viewOffers is the seller predicates analyser (§3.5): offer matching
+// materialized views at the (small) cost of scanning and shipping them.
+func (n *Node) viewOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select) []trading.Offer {
+	var out []trading.Offer
+	for _, m := range views.BestMatches(sel, n.store) {
+		v := n.store.View(m.View.Name)
+		if v == nil || v.Stats == nil {
+			continue
+		}
+		cols, err := OutputSpecs(m.Comp, n.cfg.Schema, n.store)
+		if err != nil {
+			continue
+		}
+		rows := v.Stats.Rows
+		bytes := float64(rows) * math.Max(v.Stats.RowBytes, 8)
+		execCost := n.cfg.Cost.Scan(rows)
+		if m.ReAggregated {
+			execCost += n.cfg.Cost.Aggregate(rows, rows/2+1)
+		}
+		props := n.valuation(execCost, rows, bytes, 1)
+		truth := trading.TruthScore(n.cfg.Weights, props)
+		var bindings []string
+		for _, tr := range sel.From {
+			bindings = append(bindings, tr.Binding())
+		}
+		parts := map[string][]string{}
+		for _, tr := range sel.From {
+			parts[strings.ToLower(tr.Binding())] = n.cfg.Schema.PartitionIDs(tr.Name)
+		}
+		out = append(out, trading.Offer{
+			OfferID:  fmt.Sprintf("%s/%s/v%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1)),
+			RFBID:    rfb.RFBID,
+			QID:      qr.QID,
+			SellerID: n.cfg.ID,
+			SQL:      m.Comp.SQL(),
+			Bindings: bindings,
+			Parts:    parts,
+			Complete: true,
+			FromView: true,
+			Cols:     cols,
+			Props:    props,
+			Price:    n.cfg.Strategy.Price(qr.QID, truth),
+		})
+	}
+	return out
+}
+
+// valuation assembles the multidimensional offer properties the paper lists
+// in §3.1.
+func (n *Node) valuation(execCost float64, rows int64, bytes float64, coverage float64) cost.Valuation {
+	transfer := n.cfg.Cost.Transfer(bytes)
+	total := execCost + transfer
+	v := cost.Valuation{
+		TotalTime:    total,
+		FirstRow:     n.cfg.Cost.StartupCost + n.cfg.Cost.NetLatency,
+		Rows:         rows,
+		Bytes:        bytes,
+		Freshness:    1,
+		Completeness: coverage,
+	}
+	if total > 0 {
+		v.RowsPerSec = float64(rows) / (total / 1000)
+	}
+	return v
+}
+
+// ImproveBids implements the seller side of iterative bidding and bargaining
+// (step S3): the strategy may undercut the best competing price or meet a
+// bargaining target.
+func (n *Node) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.standing[req.RFBID]
+	if m == nil {
+		return nil, nil
+	}
+	var out []trading.Offer
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		so := m[id]
+		competing, ok := req.BestPrice[so.offer.QID]
+		if !ok {
+			continue
+		}
+		if t, hasTarget := req.Target[so.offer.QID]; hasTarget && t < competing {
+			competing = t
+		}
+		newPrice, changed := n.cfg.Strategy.Improve(so.offer.QID, so.offer.Price, so.truth, competing)
+		if !changed || newPrice >= so.offer.Price {
+			continue
+		}
+		so.offer.Price = newPrice
+		out = append(out, so.offer)
+	}
+	return out, nil
+}
+
+// Award records a win (and implies losses for the node's competing offers on
+// the same query), feeding strategy adaptation.
+func (n *Node) Award(aw trading.Award) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.standing[aw.RFBID]
+	if m == nil {
+		return nil
+	}
+	winner, ok := m[aw.OfferID]
+	if !ok {
+		return fmt.Errorf("node %s: unknown offer %q", n.cfg.ID, aw.OfferID)
+	}
+	n.cfg.Strategy.Observe(winner.offer.QID, true)
+	for id, so := range m {
+		if id != aw.OfferID && so.offer.QID == winner.offer.QID {
+			n.cfg.Strategy.Observe(so.offer.QID, false)
+		}
+	}
+	return nil
+}
+
+// EndNegotiation drops the standing-offer state of an RFB, notifying the
+// strategy of losses for offers that were never awarded.
+func (n *Node) EndNegotiation(rfbID string, wonOfferIDs map[string]bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.standing[rfbID]
+	for id, so := range m {
+		if !wonOfferIDs[id] {
+			n.cfg.Strategy.Observe(so.offer.QID, false)
+		}
+	}
+	delete(n.standing, rfbID)
+}
+
+// Execute evaluates a purchased query and ships the answer. The SQL is
+// either a (rewritten) query over local fragments or a compensation query
+// over a local materialized view.
+func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
+	n.active.Add(1)
+	defer n.active.Add(-1)
+	if req.OfferID != "" {
+		n.mu.Lock()
+		sc := n.subcontracts[req.OfferID]
+		n.mu.Unlock()
+		if sc != nil {
+			return n.executeSubcontract(sc)
+		}
+	}
+	stmt, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return trading.ExecResp{}, fmt.Errorf("node %s: %w", n.cfg.ID, err)
+	}
+	if u, ok := stmt.(*sqlparse.Union); ok {
+		return n.executeUnion(u)
+	}
+	sel := stmt.(*sqlparse.Select)
+	plan.Qualify(sel, n.cfg.Schema)
+	var root plan.Node
+	if len(sel.From) == 1 && n.store.View(sel.From[0].Name) != nil {
+		root, err = n.viewPlan(sel)
+	} else {
+		var res *localopt.Result
+		res, err = localopt.Optimize(sel, n.cfg.Schema, n.store, n.cfg.Cost)
+		if err == nil {
+			root = res.Best.Plan
+		}
+	}
+	if err != nil {
+		return trading.ExecResp{}, fmt.Errorf("node %s: %w", n.cfg.ID, err)
+	}
+	ex := &exec.Executor{Store: n.store}
+	result, err := ex.Run(root)
+	if err != nil {
+		return trading.ExecResp{}, fmt.Errorf("node %s: %w", n.cfg.ID, err)
+	}
+	specs, err := OutputSpecs(sel, n.cfg.Schema, n.store)
+	if err != nil {
+		// Fall back to the executed schema with unknown kinds.
+		specs = make([]trading.ColSpec, len(result.Cols))
+		for i, c := range result.Cols {
+			specs[i] = trading.ColSpec{Table: c.Table, Name: c.Name}
+		}
+	}
+	return trading.ExecResp{Cols: specs, Rows: result.Rows}, nil
+}
+
+// executeUnion evaluates a UNION [ALL] chain by running each branch and
+// concatenating (deduplicating for plain UNION).
+func (n *Node) executeUnion(u *sqlparse.Union) (trading.ExecResp, error) {
+	var out trading.ExecResp
+	seen := map[string]bool{}
+	for i, sel := range u.Inputs {
+		resp, err := n.Execute(trading.ExecReq{SQL: sel.SQL()})
+		if err != nil {
+			return trading.ExecResp{}, err
+		}
+		if i == 0 {
+			out.Cols = resp.Cols
+		} else if len(resp.Cols) != len(out.Cols) {
+			return trading.ExecResp{}, fmt.Errorf("node %s: union branches have different widths (%d vs %d)",
+				n.cfg.ID, len(resp.Cols), len(out.Cols))
+		}
+		for _, r := range resp.Rows {
+			if !u.All {
+				idx := make([]int, len(r))
+				for k := range idx {
+					idx[k] = k
+				}
+				key := value.Key(r, idx)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// viewPlan builds the execution plan of a compensation query over a local
+// materialized view.
+func (n *Node) viewPlan(sel *sqlparse.Select) (plan.Node, error) {
+	v := n.store.View(sel.From[0].Name)
+	binding := sel.From[0].Binding()
+	cols := make([]expr.ColumnID, len(v.Columns))
+	for i, c := range v.Columns {
+		cols[i] = expr.ColumnID{Table: binding, Name: c.Name}
+	}
+	var root plan.Node = &plan.ViewScan{Name: v.Name, Cols: cols}
+	if sel.Where != nil {
+		root = &plan.Filter{Input: root, Pred: expr.Clone(sel.Where)}
+	}
+	return plan.FinalizeSelect(sel, root)
+}
+
+// OutputSpecs computes the output schema (names and kinds) of a SELECT over
+// base tables or local views. Buyers use the specs shipped in offers to
+// build Remote plan nodes; sellers use them to label shipped answers.
+func OutputSpecs(sel *sqlparse.Select, sch *catalog.Schema, store *storage.Store) ([]trading.ColSpec, error) {
+	kindOf := buildKindResolver(sel, sch, store)
+	var out []trading.ColSpec
+	for i, it := range sel.Items {
+		if it.Star {
+			for _, tr := range sel.From {
+				if def, ok := sch.Table(tr.Name); ok {
+					for _, cd := range def.Columns {
+						out = append(out, trading.ColSpec{Table: tr.Binding(), Name: cd.Name, Kind: cd.Kind})
+					}
+					continue
+				}
+				if store != nil {
+					if v := store.View(tr.Name); v != nil {
+						for _, cd := range v.Columns {
+							out = append(out, trading.ColSpec{Table: tr.Binding(), Name: cd.Name, Kind: cd.Kind})
+						}
+					}
+				}
+			}
+			continue
+		}
+		spec := trading.ColSpec{Kind: kindOf(it.Expr)}
+		if it.Alias != "" {
+			spec.Name = it.Alias
+		} else if c, ok := it.Expr.(*expr.Column); ok {
+			spec.Table = c.Table
+			spec.Name = c.Name
+		} else {
+			spec.Name = fmt.Sprintf("_col%d", i)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("node: query %q has no output columns", sel.SQL())
+	}
+	return out, nil
+}
+
+// buildKindResolver returns a function inferring the value kind of an
+// expression under the query's FROM bindings.
+func buildKindResolver(sel *sqlparse.Select, sch *catalog.Schema, store *storage.Store) func(expr.Expr) value.Kind {
+	colKind := func(c *expr.Column) value.Kind {
+		for _, tr := range sel.From {
+			if c.Table != "" && !strings.EqualFold(c.Table, tr.Binding()) {
+				continue
+			}
+			if def, ok := sch.Table(tr.Name); ok {
+				if idx := def.ColumnIndex(c.Name); idx >= 0 {
+					return def.Columns[idx].Kind
+				}
+			}
+			if store != nil {
+				if v := store.View(tr.Name); v != nil {
+					for _, cd := range v.Columns {
+						if strings.EqualFold(cd.Name, c.Name) {
+							return cd.Kind
+						}
+					}
+				}
+			}
+		}
+		return value.Null
+	}
+	var kindOf func(e expr.Expr) value.Kind
+	kindOf = func(e expr.Expr) value.Kind {
+		switch t := e.(type) {
+		case *expr.Column:
+			return colKind(t)
+		case *expr.Lit:
+			return t.V.K
+		case *expr.Agg:
+			switch t.Fn {
+			case "COUNT":
+				return value.Int
+			case "AVG":
+				return value.Float
+			default:
+				if t.Arg != nil {
+					return kindOf(t.Arg)
+				}
+				return value.Float
+			}
+		case *expr.Binary:
+			switch t.Op {
+			case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+				return value.Bool
+			}
+			lk, rk := kindOf(t.L), kindOf(t.R)
+			if lk == value.Float || rk == value.Float || t.Op == "/" {
+				return value.Float
+			}
+			return lk
+		case *expr.Unary:
+			if t.Op == "NOT" {
+				return value.Bool
+			}
+			return kindOf(t.X)
+		case *expr.In, *expr.Between, *expr.IsNull:
+			return value.Bool
+		}
+		return value.Null
+	}
+	return kindOf
+}

@@ -1,0 +1,191 @@
+package node
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"qtrade/internal/netsim"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+)
+
+// subFederation builds the subcontracting topology: corfu holds the corfu
+// customer partition, myconos holds the myconos partition, and corfu may
+// purchase missing fragments from myconos. The buyer only ever talks to
+// corfu.
+func subFederation(t *testing.T) (*netsim.Network, *Node, *Node) {
+	t.Helper()
+	sch := telcoSchema()
+	net := netsim.New()
+
+	myc := New(Config{ID: "myconos", Schema: sch})
+	cust, _ := sch.Table("customer")
+	if _, err := myc.Store().CreateFragment(cust, "myconos"); err != nil {
+		t.Fatal(err)
+	}
+	if err := myc.Store().Insert("customer", "myconos",
+		value.Row{value.NewInt(3), value.NewStr("carol"), value.NewStr("Myconos")},
+		value.Row{value.NewInt(5), value.NewStr("eve"), value.NewStr("Myconos")},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	corfu := New(Config{
+		ID: "corfu", Schema: sch,
+		SubcontractPeers: func() map[string]trading.Peer {
+			return map[string]trading.Peer{"myconos": net.Peer("corfu", "myconos")}
+		},
+	})
+	if _, err := corfu.Store().CreateFragment(cust, "corfu"); err != nil {
+		t.Fatal(err)
+	}
+	if err := corfu.Store().Insert("customer", "corfu",
+		value.Row{value.NewInt(1), value.NewStr("alice"), value.NewStr("Corfu")},
+		value.Row{value.NewInt(2), value.NewStr("bob"), value.NewStr("Corfu")},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	net.Register("corfu", corfu)
+	net.Register("myconos", myc)
+	return net, corfu, myc
+}
+
+const bothOfficesQuery = "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')"
+
+func TestSubcontractOfferCoversMissingPartition(t *testing.T) {
+	_, corfu, _ := subFederation(t)
+	rfb := trading.RFB{RFBID: "r1", BuyerID: "buyer",
+		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
+	offers, err := corfu.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var composite *trading.Offer
+	for i := range offers {
+		parts := offers[i].Parts["c"]
+		if len(parts) == 2 {
+			composite = &offers[i]
+		}
+	}
+	if composite == nil {
+		t.Fatalf("no composite offer among %d offers", len(offers))
+	}
+	if !composite.Complete {
+		t.Fatalf("composite must cover all relevant partitions: %+v", composite)
+	}
+	sort.Strings(composite.Parts["c"])
+	if composite.Parts["c"][0] != "corfu" || composite.Parts["c"][1] != "myconos" {
+		t.Fatalf("parts: %v", composite.Parts)
+	}
+	// The composite is priced above corfu's own partial offer (it includes
+	// the purchased fragment).
+	var ownPartial *trading.Offer
+	for i := range offers {
+		if len(offers[i].Parts["c"]) == 1 {
+			ownPartial = &offers[i]
+		}
+	}
+	if ownPartial != nil && composite.Price <= ownPartial.Price {
+		t.Fatalf("composite %.3f must cost more than partial %.3f", composite.Price, ownPartial.Price)
+	}
+}
+
+func TestSubcontractExecution(t *testing.T) {
+	_, corfu, _ := subFederation(t)
+	rfb := trading.RFB{RFBID: "r2", BuyerID: "buyer",
+		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
+	offers, err := corfu.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var composite *trading.Offer
+	for i := range offers {
+		if len(offers[i].Parts["c"]) == 2 {
+			composite = &offers[i]
+		}
+	}
+	if composite == nil {
+		t.Fatal("no composite offer")
+	}
+	resp, err := corfu.Execute(trading.ExecReq{
+		BuyerID: "buyer", OfferID: composite.OfferID, SQL: composite.SQL})
+	if err != nil {
+		t.Fatalf("composite execute: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range resp.Rows {
+		for i, c := range resp.Cols {
+			if strings.EqualFold(c.Name, "custname") {
+				names[r[i].S] = true
+			}
+		}
+	}
+	for _, want := range []string{"alice", "bob", "carol", "eve"} {
+		if !names[want] {
+			t.Fatalf("missing %s in composite answer: %v", want, names)
+		}
+	}
+	if len(resp.Rows) != 4 {
+		t.Fatalf("rows: %d", len(resp.Rows))
+	}
+}
+
+func TestSubcontractDepthLimit(t *testing.T) {
+	_, corfu, _ := subFederation(t)
+	// A Depth-1 RFB (already a subcontract) must not be re-subcontracted.
+	rfb := trading.RFB{RFBID: "r3", BuyerID: "other-seller", Depth: 1,
+		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
+	offers, err := corfu.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range offers {
+		if len(o.Parts["c"]) > 1 {
+			t.Fatalf("depth-1 RFB produced a composite offer: %+v", o)
+		}
+	}
+}
+
+func TestSubcontractUnavailablePeerNoComposite(t *testing.T) {
+	net, corfu, _ := subFederation(t)
+	net.SetDown("myconos", true)
+	rfb := trading.RFB{RFBID: "r4", BuyerID: "buyer",
+		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
+	offers, err := corfu.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range offers {
+		if len(o.Parts["c"]) > 1 {
+			t.Fatal("composite offer without a reachable subcontractor")
+		}
+	}
+	// Corfu still offers its own partition.
+	if len(offers) == 0 {
+		t.Fatal("own partial offers must survive")
+	}
+}
+
+func TestSubcontractQueryOnlyNeedsOwnData(t *testing.T) {
+	net, corfu, _ := subFederation(t)
+	net.Reset()
+	rfb := trading.RFB{RFBID: "r5", BuyerID: "buyer",
+		Queries: []trading.QueryRequest{{QID: "q0",
+			SQL: "SELECT c.custname FROM customer c WHERE c.office = 'Corfu'"}}}
+	offers, err := corfu.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only relevant partition is held locally: no subcontract RFB must
+	// have been sent at all.
+	if msgs, _ := net.Stats(); msgs != 0 {
+		t.Fatalf("needless subcontract negotiation: %d messages", msgs)
+	}
+	for _, o := range offers {
+		if !o.Complete {
+			t.Fatalf("corfu fully covers the corfu query: %+v", o)
+		}
+	}
+}

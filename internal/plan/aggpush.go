@@ -1,0 +1,266 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+
+	"qtrade/internal/expr"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/value"
+)
+
+// Aggregate pushdown: a seller holding part of a partitioned relation can
+// ship per-group partial aggregates of its fragment instead of raw rows, and
+// the buyer merges them (SUM of SUMs, SUM of COUNTs, MIN of MINs, ...). This
+// is sound exactly when the fragments a plan unions are disjoint — which the
+// buyer plan generator's exact-coverage rule already guarantees. AVG
+// decomposes into SUM and COUNT; DISTINCT aggregates do not decompose and
+// disable the optimization.
+
+// PartialAggSpec is one aggregate a seller computes per group over its
+// fragment.
+type PartialAggSpec struct {
+	Agg  *expr.Agg
+	Name string // output column name (_pa<i>)
+	// Merge is the buyer-side combining aggregate: SUM, MIN or MAX.
+	Merge string
+}
+
+// AggDecomposition describes how a query's aggregation splits into
+// seller-side partials and a buyer-side merge.
+type AggDecomposition struct {
+	// GroupCols are the grouping columns (grouping by general expressions
+	// disables pushdown).
+	GroupCols []*expr.Column
+	// Aggs are the distinct aggregate calls of the query, in first-seen
+	// order; aggKey(Aggs[i]) == canonical string.
+	Aggs []*expr.Agg
+	// Partials are the flattened seller-side aggregates.
+	Partials []PartialAggSpec
+	// PartsOf maps each original aggregate to its partial indices (AVG has
+	// two: SUM then COUNT).
+	PartsOf [][]int
+}
+
+// DecomposeAggregates analyzes an aggregation query for pushdown; ok=false
+// when any aggregate or grouping construct does not decompose.
+func DecomposeAggregates(sel *sqlparse.Select) (*AggDecomposition, bool) {
+	if !sel.HasAggregates() && len(sel.GroupBy) == 0 {
+		return nil, false
+	}
+	d := &AggDecomposition{}
+	for _, g := range sel.GroupBy {
+		c, ok := g.(*expr.Column)
+		if !ok {
+			return nil, false
+		}
+		d.GroupCols = append(d.GroupCols, c)
+	}
+	seen := map[string]bool{}
+	collect := func(e expr.Expr) {
+		expr.Walk(e, func(n expr.Expr) bool {
+			a, isAgg := n.(*expr.Agg)
+			if !isAgg {
+				return true
+			}
+			if !seen[a.String()] {
+				seen[a.String()] = true
+				d.Aggs = append(d.Aggs, expr.Clone(a).(*expr.Agg))
+			}
+			return false
+		})
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, false
+		}
+		collect(it.Expr)
+	}
+	if sel.Having != nil {
+		collect(sel.Having)
+	}
+	for _, a := range d.Aggs {
+		if a.Distinct {
+			return nil, false
+		}
+		idx := len(d.Partials)
+		name := func(i int) string { return "_pa" + strconv.Itoa(i) }
+		switch a.Fn {
+		case "SUM":
+			d.Partials = append(d.Partials, PartialAggSpec{
+				Agg: &expr.Agg{Fn: "SUM", Arg: expr.Clone(a.Arg)}, Name: name(idx), Merge: "SUM"})
+			d.PartsOf = append(d.PartsOf, []int{idx})
+		case "COUNT":
+			p := &expr.Agg{Fn: "COUNT", Star: a.Star}
+			if !a.Star {
+				p.Arg = expr.Clone(a.Arg)
+			}
+			d.Partials = append(d.Partials, PartialAggSpec{Agg: p, Name: name(idx), Merge: "SUM"})
+			d.PartsOf = append(d.PartsOf, []int{idx})
+		case "MIN", "MAX":
+			d.Partials = append(d.Partials, PartialAggSpec{
+				Agg: &expr.Agg{Fn: a.Fn, Arg: expr.Clone(a.Arg)}, Name: name(idx), Merge: a.Fn})
+			d.PartsOf = append(d.PartsOf, []int{idx})
+		case "AVG":
+			d.Partials = append(d.Partials,
+				PartialAggSpec{Agg: &expr.Agg{Fn: "SUM", Arg: expr.Clone(a.Arg)}, Name: name(idx), Merge: "SUM"},
+				PartialAggSpec{Agg: &expr.Agg{Fn: "COUNT", Arg: expr.Clone(a.Arg)}, Name: name(idx + 1), Merge: "SUM"})
+			d.PartsOf = append(d.PartsOf, []int{idx, idx + 1})
+		default:
+			return nil, false
+		}
+	}
+	return d, true
+}
+
+// PartialItems returns the select list of the seller-side partial query:
+// the group columns followed by the partial aggregates.
+func (d *AggDecomposition) PartialItems() []sqlparse.SelectItem {
+	var items []sqlparse.SelectItem
+	for _, c := range d.GroupCols {
+		items = append(items, sqlparse.SelectItem{Expr: expr.NewColumn(c.Table, c.Name)})
+	}
+	for _, p := range d.Partials {
+		items = append(items, sqlparse.SelectItem{Expr: expr.Clone(p.Agg), Alias: p.Name})
+	}
+	return items
+}
+
+// mergedName is the buyer-side column holding the merged partial i.
+func mergedName(i int) string { return "_m" + strconv.Itoa(i) }
+
+// finalExpr rewrites an original aggregate into an expression over merged
+// columns.
+func (d *AggDecomposition) finalExpr(aggIdx int) expr.Expr {
+	parts := d.PartsOf[aggIdx]
+	switch d.Aggs[aggIdx].Fn {
+	case "AVG":
+		// (SUM * 1.0) / COUNT forces float division.
+		s := expr.NewColumn("", mergedName(parts[0]))
+		c := expr.NewColumn("", mergedName(parts[1]))
+		return &expr.Binary{Op: "/",
+			L: &expr.Binary{Op: "*", L: s, R: expr.NewLit(value.NewFloat(1))},
+			R: c,
+		}
+	default:
+		return expr.NewColumn("", mergedName(parts[0]))
+	}
+}
+
+// BuildMergePlan assembles the buyer-side plan over an input producing
+// [group columns..., partial aggregates...] rows from disjoint fragments:
+// merge-aggregate, HAVING, final projection, ORDER BY and LIMIT.
+func (d *AggDecomposition) BuildMergePlan(sel *sqlparse.Select, input Node) (Node, error) {
+	agg := &Aggregate{Input: input}
+	for _, c := range d.GroupCols {
+		agg.GroupBy = append(agg.GroupBy, expr.NewColumn(c.Table, c.Name))
+		agg.GroupNames = append(agg.GroupNames, expr.ColumnID{Table: c.Table, Name: c.Name})
+	}
+	for i, p := range d.Partials {
+		agg.Aggs = append(agg.Aggs, AggItem{
+			Agg:  &expr.Agg{Fn: p.Merge, Arg: expr.NewColumn("", p.Name)},
+			Name: expr.ColumnID{Name: mergedName(i)},
+		})
+	}
+
+	// Rewrite an expression: aggregates become merged-column expressions,
+	// group columns pass through.
+	byAgg := map[string]int{}
+	for i, a := range d.Aggs {
+		byAgg[a.String()] = i
+	}
+	var replace func(e expr.Expr) (expr.Expr, error)
+	replace = func(e expr.Expr) (expr.Expr, error) {
+		if e == nil {
+			return nil, nil
+		}
+		if a, ok := e.(*expr.Agg); ok {
+			idx, known := byAgg[a.String()]
+			if !known {
+				return nil, fmt.Errorf("plan: aggregate %s not decomposed", a)
+			}
+			return d.finalExpr(idx), nil
+		}
+		switch t := e.(type) {
+		case *expr.Binary:
+			l, err := replace(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := replace(t.R)
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Binary{Op: t.Op, L: l, R: r}, nil
+		case *expr.Unary:
+			x, err := replace(t.X)
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Unary{Op: t.Op, X: x}, nil
+		case *expr.In:
+			x, err := replace(t.X)
+			if err != nil {
+				return nil, err
+			}
+			list := make([]expr.Expr, len(t.List))
+			for i, item := range t.List {
+				li, err := replace(item)
+				if err != nil {
+					return nil, err
+				}
+				list[i] = li
+			}
+			return &expr.In{X: x, List: list, Not: t.Not}, nil
+		case *expr.Between:
+			x, errx := replace(t.X)
+			lo, errl := replace(t.Lo)
+			hi, errh := replace(t.Hi)
+			if errx != nil || errl != nil || errh != nil {
+				return nil, fmt.Errorf("plan: between rewrite failed")
+			}
+			return &expr.Between{X: x, Lo: lo, Hi: hi, Not: t.Not}, nil
+		case *expr.IsNull:
+			x, err := replace(t.X)
+			if err != nil {
+				return nil, err
+			}
+			return &expr.IsNull{X: x, Not: t.Not}, nil
+		}
+		return expr.Clone(e), nil
+	}
+
+	var node Node = agg
+	if sel.Having != nil {
+		h, err := replace(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		node = &Filter{Input: node, Pred: h}
+	}
+	var exprs []expr.Expr
+	var names []expr.ColumnID
+	for i, it := range sel.Items {
+		e, err := replace(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, outputName(sqlparse.SelectItem{Expr: it.Expr, Alias: it.Alias}, i))
+	}
+	node = &Project{Input: node, Exprs: exprs, Names: names}
+	if len(sel.OrderBy) > 0 {
+		var keys []SortKey
+		for _, o := range sel.OrderBy {
+			if !refsAvailable(o.Expr, names) {
+				return nil, fmt.Errorf("plan: ORDER BY %s not available after aggregate pushdown", o.Expr)
+			}
+			keys = append(keys, SortKey{Expr: expr.Clone(o.Expr), Desc: o.Desc})
+		}
+		node = &Sort{Input: node, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		node = &Limit{Input: node, N: sel.Limit}
+	}
+	return node, nil
+}

@@ -1,0 +1,316 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/expr"
+	"qtrade/internal/sqlparse"
+)
+
+// FinalizeSelect lowers the post-join phase of a SELECT block onto an input
+// operator that already produces the joined, filtered FROM rows: aggregation
+// with HAVING, projection, DISTINCT, ORDER BY and LIMIT. It is shared by the
+// sellers' local optimizer, the centralized baseline and the buyer plan
+// generator, which differ only in how they build the input join tree.
+func FinalizeSelect(sel *sqlparse.Select, input Node) (Node, error) {
+	items, err := expandStars(sel, input.Schema())
+	if err != nil {
+		return nil, err
+	}
+	node := input
+	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
+		node, items, err = buildAggregate(sel, node, items)
+		if err != nil {
+			return nil, err
+		}
+	}
+	exprs := make([]expr.Expr, len(items))
+	names := make([]expr.ColumnID, len(items))
+	for i, it := range items {
+		exprs[i] = it.Expr
+		names[i] = outputName(it, i)
+	}
+	// ORDER BY may reference columns that are not projected (standard SQL);
+	// such keys ride along as hidden projection columns and are stripped
+	// after the sort.
+	keys := make([]SortKey, len(sel.OrderBy))
+	hidden := 0
+	for i, o := range sel.OrderBy {
+		key := expr.Clone(o.Expr)
+		if !refsAvailable(key, names) && refsAvailable(key, node.Schema()) {
+			if sel.Distinct {
+				return nil, fmt.Errorf("plan: for SELECT DISTINCT, ORDER BY expressions must appear in the select list (%s)", key)
+			}
+			name := expr.ColumnID{Name: fmt.Sprintf("_ord%d", i)}
+			exprs = append(exprs, key)
+			names = append(names, name)
+			key = expr.NewColumn("", name.Name)
+			hidden++
+		}
+		keys[i] = SortKey{Expr: key, Desc: o.Desc}
+	}
+	visible := len(names) - hidden
+	node = &Project{Input: node, Exprs: exprs, Names: names}
+	if sel.Distinct {
+		node = &Distinct{Input: node}
+	}
+	if len(keys) > 0 {
+		node = &Sort{Input: node, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		node = &Limit{Input: node, N: sel.Limit}
+	}
+	if hidden > 0 {
+		// Strip the hidden sort columns.
+		stripExprs := make([]expr.Expr, visible)
+		stripNames := make([]expr.ColumnID, visible)
+		for i := 0; i < visible; i++ {
+			stripExprs[i] = expr.NewColumn(names[i].Table, names[i].Name)
+			stripNames[i] = names[i]
+		}
+		node = &Project{Input: node, Exprs: stripExprs, Names: stripNames}
+	}
+	return node, nil
+}
+
+// Qualify resolves every unqualified column reference of a SELECT against
+// the schema's table definitions: a column exposed by exactly one FROM
+// relation gets that relation's binding as its qualifier (standard semantic
+// analysis). Ambiguous or unknown names are left untouched — binding will
+// reject them later with a precise error. Qualifying right after parsing
+// lets every downstream component (partition pruning, rewriting, offer
+// matching) reason about column identity reliably.
+func Qualify(sel *sqlparse.Select, sch *catalog.Schema) {
+	owner := func(name string) string {
+		found := ""
+		n := 0
+		for _, tr := range sel.From {
+			def, ok := sch.Table(tr.Name)
+			if !ok {
+				continue
+			}
+			if def.ColumnIndex(name) >= 0 {
+				found = tr.Binding()
+				n++
+			}
+		}
+		if n == 1 {
+			return found
+		}
+		return ""
+	}
+	fix := func(e expr.Expr) {
+		expr.Walk(e, func(x expr.Expr) bool {
+			if c, ok := x.(*expr.Column); ok && c.Table == "" {
+				if b := owner(c.Name); b != "" {
+					c.Table = b
+				}
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			fix(it.Expr)
+		}
+	}
+	fix(sel.Where)
+	for _, g := range sel.GroupBy {
+		fix(g)
+	}
+	fix(sel.Having)
+	for _, o := range sel.OrderBy {
+		fix(o.Expr)
+	}
+}
+
+// refsAvailable reports whether every column of e resolves in the schema.
+func refsAvailable(e expr.Expr, schema []expr.ColumnID) bool {
+	for _, c := range expr.Columns(e) {
+		found := false
+		for _, s := range schema {
+			if !equalFold(c.Name, s.Name) {
+				continue
+			}
+			if c.Table == "" || equalFold(c.Table, s.Table) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// outputName derives the exposed column identity of a select item.
+func outputName(it sqlparse.SelectItem, i int) expr.ColumnID {
+	if it.Alias != "" {
+		return expr.ColumnID{Name: it.Alias}
+	}
+	if c, ok := it.Expr.(*expr.Column); ok {
+		return expr.ColumnID{Table: c.Table, Name: c.Name}
+	}
+	return expr.ColumnID{Name: "_col" + strconv.Itoa(i)}
+}
+
+// expandStars replaces `*` items with explicit column references over the
+// input schema.
+func expandStars(sel *sqlparse.Select, schema []expr.ColumnID) ([]sqlparse.SelectItem, error) {
+	var out []sqlparse.SelectItem
+	for _, it := range sel.Items {
+		if !it.Star {
+			out = append(out, sqlparse.SelectItem{Expr: expr.Clone(it.Expr), Alias: it.Alias})
+			continue
+		}
+		if len(schema) == 0 {
+			return nil, fmt.Errorf("plan: cannot expand * with empty input schema")
+		}
+		for _, c := range schema {
+			out = append(out, sqlparse.SelectItem{Expr: expr.NewColumn(c.Table, c.Name)})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("plan: empty select list")
+	}
+	return out, nil
+}
+
+// buildAggregate inserts an Aggregate (and HAVING filter) below the final
+// projection and rewrites select items so aggregate calls and group
+// expressions become references to the aggregate's output columns.
+func buildAggregate(sel *sqlparse.Select, input Node, items []sqlparse.SelectItem) (Node, []sqlparse.SelectItem, error) {
+	// Collect distinct aggregate calls from items and HAVING.
+	var aggs []*expr.Agg
+	seen := map[string]int{}
+	collect := func(e expr.Expr) {
+		expr.Walk(e, func(n expr.Expr) bool {
+			if a, ok := n.(*expr.Agg); ok {
+				if _, dup := seen[a.String()]; !dup {
+					seen[a.String()] = len(aggs)
+					aggs = append(aggs, a)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		collect(it.Expr)
+	}
+	if sel.Having != nil {
+		collect(sel.Having)
+	}
+
+	agg := &Aggregate{Input: input}
+	groupIDs := make([]expr.ColumnID, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		agg.GroupBy = append(agg.GroupBy, expr.Clone(g))
+		if c, ok := g.(*expr.Column); ok {
+			groupIDs[i] = expr.ColumnID{Table: c.Table, Name: c.Name}
+		} else {
+			groupIDs[i] = expr.ColumnID{Name: "_g" + strconv.Itoa(i)}
+		}
+	}
+	agg.GroupNames = groupIDs
+	aggIDs := make([]expr.ColumnID, len(aggs))
+	for i, a := range aggs {
+		aggIDs[i] = expr.ColumnID{Name: "_agg" + strconv.Itoa(i)}
+		agg.Aggs = append(agg.Aggs, AggItem{Agg: expr.Clone(a).(*expr.Agg), Name: aggIDs[i]})
+	}
+
+	// replace rewrites aggregate calls and group expressions into column
+	// references over the aggregate output, top-down so group expressions do
+	// not match inside already-replaced aggregates.
+	var replace func(e expr.Expr) expr.Expr
+	replace = func(e expr.Expr) expr.Expr {
+		if e == nil {
+			return nil
+		}
+		if a, ok := e.(*expr.Agg); ok {
+			idx, known := seen[a.String()]
+			if !known {
+				return expr.Clone(e)
+			}
+			return &expr.Column{Table: aggIDs[idx].Table, Name: aggIDs[idx].Name, Index: -1}
+		}
+		for i, g := range sel.GroupBy {
+			if expr.Equal(e, g) {
+				return &expr.Column{Table: groupIDs[i].Table, Name: groupIDs[i].Name, Index: -1}
+			}
+		}
+		switch t := e.(type) {
+		case *expr.Binary:
+			return &expr.Binary{Op: t.Op, L: replace(t.L), R: replace(t.R)}
+		case *expr.Unary:
+			return &expr.Unary{Op: t.Op, X: replace(t.X)}
+		case *expr.In:
+			list := make([]expr.Expr, len(t.List))
+			for i, x := range t.List {
+				list[i] = replace(x)
+			}
+			return &expr.In{X: replace(t.X), List: list, Not: t.Not}
+		case *expr.Between:
+			return &expr.Between{X: replace(t.X), Lo: replace(t.Lo), Hi: replace(t.Hi), Not: t.Not}
+		case *expr.IsNull:
+			return &expr.IsNull{X: replace(t.X), Not: t.Not}
+		}
+		return expr.Clone(e)
+	}
+
+	outSchema := agg.Schema()
+	validate := func(e expr.Expr, what string) error {
+		for _, c := range expr.Columns(e) {
+			ok := false
+			for _, s := range outSchema {
+				if expr.ColKey(c) == s.Key() || (c.Table == "" && equalFold(c.Name, s.Name)) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("plan: %s column %s must appear in GROUP BY or inside an aggregate", what, c)
+			}
+		}
+		return nil
+	}
+
+	newItems := make([]sqlparse.SelectItem, len(items))
+	for i, it := range items {
+		newItems[i] = sqlparse.SelectItem{Expr: replace(it.Expr), Alias: it.Alias}
+		if err := validate(newItems[i].Expr, "select"); err != nil {
+			return nil, nil, err
+		}
+	}
+	var node Node = agg
+	if sel.Having != nil {
+		h := replace(sel.Having)
+		if err := validate(h, "HAVING"); err != nil {
+			return nil, nil, err
+		}
+		node = &Filter{Input: node, Pred: h}
+	}
+	return node, newItems, nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 'A' && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if cb >= 'A' && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/expr"
+	"qtrade/internal/value"
+)
+
+func TestMergeDisjointColumns(t *testing.T) {
+	a := &TableStats{Rows: 10, Cols: map[string]*ColumnStats{
+		"x": {NDV: 5, Min: value.NewInt(0), Max: value.NewInt(9)},
+	}}
+	b := &TableStats{Rows: 20, Cols: map[string]*ColumnStats{
+		"y": {NDV: 3, Min: value.NewInt(100), Max: value.NewInt(200)},
+	}}
+	m := Merge(a, b)
+	if m.Rows != 30 || m.Col("x") == nil || m.Col("y") == nil {
+		t.Fatalf("merge: %+v", m)
+	}
+}
+
+func TestMergeBoundsWiden(t *testing.T) {
+	a := &TableStats{Rows: 10, Cols: map[string]*ColumnStats{
+		"x": {NDV: 5, Min: value.NewInt(5), Max: value.NewInt(9)},
+	}}
+	b := &TableStats{Rows: 10, Cols: map[string]*ColumnStats{
+		"x": {NDV: 5, Min: value.NewInt(0), Max: value.NewInt(20)},
+	}}
+	m := Merge(a, b)
+	cs := m.Col("x")
+	if cs.Min.I != 0 || cs.Max.I != 20 {
+		t.Fatalf("bounds: %+v", cs)
+	}
+	if cs.NDV > m.Rows || cs.NDV < 5 {
+		t.Fatalf("merged ndv: %d", cs.NDV)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := &TableStats{Rows: 10, RowBytes: 8, Cols: map[string]*ColumnStats{
+		"x": {NDV: 5},
+	}}
+	c := a.Clone()
+	c.Cols["x"].NDV = 99
+	if a.Cols["x"].NDV != 5 {
+		t.Fatal("Clone must not alias column stats")
+	}
+}
+
+func TestColNilSafety(t *testing.T) {
+	var ts *TableStats
+	if ts.Col("x") != nil {
+		t.Fatal("nil stats Col must be nil")
+	}
+	empty := &TableStats{}
+	if empty.Col("x") != nil {
+		t.Fatal("empty stats Col must be nil")
+	}
+}
+
+// Property: Scale keeps rows within [0, original] and NDV within [1, rows]
+// for non-empty tables.
+func TestQuickScaleInvariants(t *testing.T) {
+	def := &catalog.TableDef{Name: "t", Columns: []catalog.ColumnDef{{Name: "x", Kind: value.Int}}}
+	base := Synthetic(def, 1000, 100)
+	f := func(numer uint8) bool {
+		frac := float64(numer) / 255
+		s := base.Scale(frac)
+		if s.Rows < 0 || s.Rows > base.Rows {
+			return false
+		}
+		cs := s.Col("x")
+		if s.Rows > 0 && (cs.NDV < 1 || cs.NDV > s.Rows) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram FracInRange is monotone in the range width.
+func TestQuickHistogramMonotone(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.NewInt(int64(i%100)))
+	}
+	h := BuildHistogram(vals, 16)
+	f := func(a, b uint8) bool {
+		lo := int64(a % 100)
+		hi1 := lo + int64(b%20)
+		hi2 := hi1 + 10
+		r1 := intervalOf(lo, hi1)
+		r2 := intervalOf(lo, hi2)
+		return h.FracInRange(r1) <= h.FracInRange(r2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func intervalOf(lo, hi int64) *expr.Range {
+	return expr.IntervalRange(true, value.NewInt(lo), true, true, value.NewInt(hi), true)
+}

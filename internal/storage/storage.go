@@ -1,0 +1,280 @@
+// Package storage is the in-memory storage engine each federation node runs:
+// it holds table fragments (horizontal partitions), serves scans, maintains
+// per-fragment statistics, and stores materialized views. It is deliberately
+// simple — the paper's optimization algorithm treats each node's DBMS as a
+// black box behind its optimizer's estimates, so the engine only needs to be
+// correct and costed, not fast.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/expr"
+	"qtrade/internal/stats"
+	"qtrade/internal/value"
+)
+
+// Fragment is the stored rows of one horizontal partition replica.
+type Fragment struct {
+	Def    *catalog.TableDef
+	PartID string
+	Rows   []value.Row
+	Stats  *stats.TableStats
+}
+
+// Ref returns the fragment's catalog identity.
+func (f *Fragment) Ref() catalog.FragmentRef {
+	return catalog.FragmentRef{Table: f.Def.Name, Part: f.PartID}
+}
+
+// MaterializedView is a stored query result a node may offer during trading
+// (§3.5 of the paper).
+type MaterializedView struct {
+	Name    string
+	SQL     string // definition, parseable by sqlparse
+	Columns []catalog.ColumnDef
+	Rows    []value.Row
+	Stats   *stats.TableStats
+}
+
+// Store is a node's local storage: fragments keyed by table and partition,
+// plus materialized views.
+type Store struct {
+	mu    sync.RWMutex
+	frags map[string]map[string]*Fragment // lower(table) -> partID
+	views map[string]*MaterializedView    // lower(name)
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{frags: map[string]map[string]*Fragment{}, views: map[string]*MaterializedView{}}
+}
+
+// CreateFragment registers an empty fragment for the given table partition.
+// It errors if the fragment already exists.
+func (s *Store) CreateFragment(def *catalog.TableDef, partID string) (*Fragment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(def.Name)
+	m := s.frags[key]
+	if m == nil {
+		m = map[string]*Fragment{}
+		s.frags[key] = m
+	}
+	if _, dup := m[partID]; dup {
+		return nil, fmt.Errorf("storage: fragment %s/%s already exists", def.Name, partID)
+	}
+	f := &Fragment{Def: def, PartID: partID}
+	m[partID] = f
+	return f, nil
+}
+
+// Insert appends rows to a fragment, validating width and column kinds
+// (NULLs are allowed in any column).
+func (s *Store) Insert(table, partID string, rows ...value.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.lookup(table, partID)
+	if f == nil {
+		return fmt.Errorf("storage: no fragment %s/%s", table, partID)
+	}
+	for _, r := range rows {
+		if len(r) != len(f.Def.Columns) {
+			return fmt.Errorf("storage: row width %d != %d for %s", len(r), len(f.Def.Columns), table)
+		}
+		for i, v := range r {
+			if v.IsNull() {
+				continue
+			}
+			want := f.Def.Columns[i].Kind
+			if v.K != want && !(numericKind(v.K) && numericKind(want)) {
+				return fmt.Errorf("storage: column %s.%s wants %s, got %s",
+					table, f.Def.Columns[i].Name, want, v.K)
+			}
+		}
+		f.Rows = append(f.Rows, r)
+	}
+	f.Stats = nil // invalidate
+	return nil
+}
+
+func numericKind(k value.Kind) bool { return k == value.Int || k == value.Float }
+
+func (s *Store) lookup(table, partID string) *Fragment {
+	m := s.frags[strings.ToLower(table)]
+	if m == nil {
+		return nil
+	}
+	return m[partID]
+}
+
+// Fragment returns a stored fragment, or nil.
+func (s *Store) Fragment(table, partID string) *Fragment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lookup(table, partID)
+}
+
+// Fragments returns all fragments of a table held locally, sorted by
+// partition id; nil if none.
+func (s *Store) Fragments(table string) []*Fragment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.frags[strings.ToLower(table)]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*Fragment, 0, len(m))
+	for _, f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PartID < out[j].PartID })
+	return out
+}
+
+// Tables returns the lower-cased names of tables with at least one local
+// fragment, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.frags))
+	for t, m := range s.frags {
+		if len(m) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartIDs returns the partition ids of a table held locally, sorted.
+func (s *Store) PartIDs(table string) []string {
+	var out []string
+	for _, f := range s.Fragments(table) {
+		out = append(out, f.PartID)
+	}
+	return out
+}
+
+// Scan streams a fragment's rows through fn; fn returning false stops the
+// scan. The optional predicate must be bound against the table's columns.
+func (s *Store) Scan(table, partID string, pred expr.Expr, fn func(value.Row) bool) error {
+	s.mu.RLock()
+	f := s.lookup(table, partID)
+	s.mu.RUnlock()
+	if f == nil {
+		return fmt.Errorf("storage: no fragment %s/%s", table, partID)
+	}
+	for _, r := range f.Rows {
+		if pred != nil {
+			ok, err := expr.EvalBool(pred, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FragmentStats returns (building lazily) statistics for a fragment.
+func (s *Store) FragmentStats(table, partID string) (*stats.TableStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.lookup(table, partID)
+	if f == nil {
+		return nil, fmt.Errorf("storage: no fragment %s/%s", table, partID)
+	}
+	if f.Stats == nil {
+		f.Stats = stats.FromRows(f.Def, f.Rows)
+	}
+	return f.Stats, nil
+}
+
+// SetFragmentStats installs synthetic statistics (for declarative,
+// data-free experiment setups).
+func (s *Store) SetFragmentStats(table, partID string, ts *stats.TableStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.lookup(table, partID)
+	if f == nil {
+		return fmt.Errorf("storage: no fragment %s/%s", table, partID)
+	}
+	f.Stats = ts
+	return nil
+}
+
+// TableStats merges the statistics of all local fragments of a table.
+func (s *Store) TableStats(table string) (*stats.TableStats, error) {
+	frs := s.Fragments(table)
+	if len(frs) == 0 {
+		return nil, fmt.Errorf("storage: no fragments of %s", table)
+	}
+	var merged *stats.TableStats
+	for _, f := range frs {
+		ts, err := s.FragmentStats(table, f.PartID)
+		if err != nil {
+			return nil, err
+		}
+		merged = stats.Merge(merged, ts)
+	}
+	return merged, nil
+}
+
+// AddView stores a materialized view.
+func (s *Store) AddView(v *MaterializedView) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(v.Name)
+	if _, dup := s.views[key]; dup {
+		return fmt.Errorf("storage: duplicate view %q", v.Name)
+	}
+	if v.Stats == nil {
+		def := &catalog.TableDef{Name: v.Name, Columns: v.Columns}
+		v.Stats = stats.FromRows(def, v.Rows)
+	}
+	s.views[key] = v
+	return nil
+}
+
+// View returns a stored view by name, or nil.
+func (s *Store) View(name string) *MaterializedView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.views[strings.ToLower(name)]
+}
+
+// Views returns all stored views sorted by name.
+func (s *Store) Views() []*MaterializedView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*MaterializedView, 0, len(s.views))
+	for _, v := range s.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalRows reports the number of rows stored across all fragments; used by
+// load-aware pricing strategies.
+func (s *Store) TotalRows() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, m := range s.frags {
+		for _, f := range m {
+			n += int64(len(f.Rows))
+		}
+	}
+	return n
+}

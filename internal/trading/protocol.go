@@ -1,0 +1,213 @@
+package trading
+
+import (
+	"sort"
+	"sync"
+)
+
+// Peer is the buyer's handle to one seller node. Implementations count
+// messages and simulate transport (see the netsim package) or speak real
+// RPC (see cmd/qtnode).
+type Peer interface {
+	RequestBids(RFB) ([]Offer, error)
+	ImproveBids(ImproveReq) ([]Offer, error)
+}
+
+// Protocol is a negotiation protocol: it runs the message exchange of one
+// nested negotiation (steps B2/B3/S3) and returns the standing offers. The
+// returned round count feeds the experiments' network-time accounting.
+type Protocol interface {
+	Name() string
+	Collect(rfb RFB, peers map[string]Peer) (offers []Offer, rounds int, err error)
+}
+
+// fanOut sends the RFB to every peer concurrently and merges the replies.
+// Failing peers are skipped: autonomy means remote nodes may decline or die,
+// and the negotiation must survive that.
+func fanOut(rfb RFB, peers map[string]Peer) []Offer {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var all []Offer
+	for id, p := range peers {
+		wg.Add(1)
+		go func(id string, p Peer) {
+			defer wg.Done()
+			offers, err := p.RequestBids(rfb)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			all = append(all, offers...)
+			mu.Unlock()
+		}(id, p)
+	}
+	wg.Wait()
+	sortOffers(all)
+	return all
+}
+
+func improveRound(req ImproveReq, peers map[string]Peer) []Offer {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var all []Offer
+	for id, p := range peers {
+		wg.Add(1)
+		go func(id string, p Peer) {
+			defer wg.Done()
+			offers, err := p.ImproveBids(req)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			all = append(all, offers...)
+			mu.Unlock()
+		}(id, p)
+	}
+	wg.Wait()
+	sortOffers(all)
+	return all
+}
+
+func sortOffers(offers []Offer) {
+	sort.Slice(offers, func(i, j int) bool {
+		if offers[i].SellerID != offers[j].SellerID {
+			return offers[i].SellerID < offers[j].SellerID
+		}
+		return offers[i].OfferID < offers[j].OfferID
+	})
+}
+
+// mergeImproved replaces standing offers by improved versions of the same
+// OfferID and appends new ones. It reports whether anything improved.
+func mergeImproved(standing []Offer, improved []Offer) ([]Offer, bool) {
+	if len(improved) == 0 {
+		return standing, false
+	}
+	idx := map[string]int{}
+	for i, o := range standing {
+		idx[o.OfferID] = i
+	}
+	changed := false
+	for _, o := range improved {
+		if i, ok := idx[o.OfferID]; ok {
+			if o.Price < standing[i].Price {
+				standing[i] = o
+				changed = true
+			}
+			continue
+		}
+		standing = append(standing, o)
+		idx[o.OfferID] = len(standing) - 1
+		changed = true
+	}
+	return standing, changed
+}
+
+// bestPrices computes the best standing price per query id.
+func bestPrices(offers []Offer) map[string]float64 {
+	best := map[string]float64{}
+	for _, o := range offers {
+		if b, ok := best[o.QID]; !ok || o.Price < b {
+			best[o.QID] = o.Price
+		}
+	}
+	return best
+}
+
+// SealedBid is the paper's default bidding protocol: one RFB round, sellers
+// answer with offers, the buyer picks winners.
+type SealedBid struct{}
+
+// Name implements Protocol.
+func (SealedBid) Name() string { return "sealed-bid" }
+
+// Collect implements Protocol.
+func (SealedBid) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
+	return fanOut(rfb, peers), 1, nil
+}
+
+// IterativeBid announces the best standing price after each round and lets
+// sellers undercut, up to MaxRounds or until prices stop moving (an open-cry
+// descending auction).
+type IterativeBid struct {
+	MaxRounds int // total rounds including the initial sealed round
+}
+
+// Name implements Protocol.
+func (p IterativeBid) Name() string { return "iterative-bid" }
+
+// Collect implements Protocol.
+func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
+	rounds := p.MaxRounds
+	if rounds < 1 {
+		rounds = 3
+	}
+	offers := fanOut(rfb, peers)
+	used := 1
+	for used < rounds && len(offers) > 0 {
+		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: bestPrices(offers)}
+		improved := improveRound(req, peers)
+		var changed bool
+		offers, changed = mergeImproved(offers, improved)
+		used++
+		if !changed {
+			break
+		}
+	}
+	return offers, used, nil
+}
+
+// Bargain has the buyer counter-offer a target price below the best standing
+// offer each round; sellers that can meet it (per their strategy) undercut.
+type Bargain struct {
+	MaxRounds int
+	Buyer     BuyerStrategy
+}
+
+// Name implements Protocol.
+func (p Bargain) Name() string { return "bargain" }
+
+// Collect implements Protocol.
+func (p Bargain) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
+	rounds := p.MaxRounds
+	if rounds < 1 {
+		rounds = 3
+	}
+	buyer := p.Buyer
+	if buyer == nil {
+		buyer = AnchoredBuyer{}
+	}
+	offers := fanOut(rfb, peers)
+	used := 1
+	for used < rounds && len(offers) > 0 {
+		best := bestPrices(offers)
+		target := make(map[string]float64, len(best))
+		for qid, b := range best {
+			target[qid] = buyer.CounterOffer(qid, b)
+		}
+		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: best, Target: target}
+		improved := improveRound(req, peers)
+		var changed bool
+		offers, changed = mergeImproved(offers, improved)
+		used++
+		if !changed {
+			break
+		}
+	}
+	return offers, used, nil
+}
+
+// SelectWinners picks, for every query id, the standing offer with the best
+// (lowest) price — the buyer's winner determination for simple valuations.
+// Ties break deterministically by seller then offer id.
+func SelectWinners(offers []Offer) map[string]Offer {
+	winners := map[string]Offer{}
+	for _, o := range offers {
+		w, ok := winners[o.QID]
+		if !ok || o.Price < w.Price ||
+			(o.Price == w.Price && (o.SellerID < w.SellerID || (o.SellerID == w.SellerID && o.OfferID < w.OfferID))) {
+			winners[o.QID] = o
+		}
+	}
+	return winners
+}

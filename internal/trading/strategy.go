@@ -1,0 +1,191 @@
+package trading
+
+import (
+	"sync"
+
+	"qtrade/internal/cost"
+)
+
+// SellerStrategy decides the asked price of an offer from its true valuation
+// and reacts to competition, per the strategy-module role of Figure 1.
+// Implementations must be safe for concurrent use (a seller negotiates with
+// many buyers at once).
+type SellerStrategy interface {
+	// Price returns the asked price for an answer whose truthful valuation
+	// (under the federation weighting) is truth.
+	Price(qid string, truth float64) float64
+	// Improve reacts to an improvement round: given the current ask, the
+	// truthful valuation and the best competing price (or the buyer's
+	// bargaining target), it returns a new ask and whether the offer is
+	// re-submitted.
+	Improve(qid string, current, truth, competing float64) (float64, bool)
+	// Observe records the outcome of a negotiation for adaptation.
+	Observe(qid string, won bool)
+}
+
+// Cooperative is the truthful strategy: asked price equals the true
+// valuation, the behaviour of nodes that jointly minimize federation cost
+// (the paper's cooperative setting, e.g. offices of one company).
+type Cooperative struct{}
+
+// Price implements SellerStrategy.
+func (Cooperative) Price(_ string, truth float64) float64 { return truth }
+
+// Improve implements SellerStrategy: a truthful ask cannot improve.
+func (Cooperative) Improve(_ string, current, _, _ float64) (float64, bool) {
+	return current, false
+}
+
+// Observe implements SellerStrategy.
+func (Cooperative) Observe(string, bool) {}
+
+// Competitive is the self-interested strategy: it asks the true valuation
+// plus an adaptive margin, decays the margin after losses, grows it after
+// wins, and undercuts competitors in improvement rounds while the margin
+// stays above MinMargin. This is the classic adaptive markup used in
+// automated trading (cf. the competitive equilibria literature the paper
+// cites).
+type Competitive struct {
+	InitMargin float64 // e.g. 0.3
+	MinMargin  float64 // e.g. 0.02
+	MaxMargin  float64 // e.g. 1.0
+	Decay      float64 // multiplicative margin decay on loss, e.g. 0.8
+	Growth     float64 // multiplicative margin growth on win, e.g. 1.05
+
+	mu     sync.Mutex
+	margin float64
+	inited bool
+}
+
+// NewCompetitive returns a Competitive strategy with the standard constants.
+func NewCompetitive() *Competitive {
+	return &Competitive{InitMargin: 0.3, MinMargin: 0.02, MaxMargin: 1.0, Decay: 0.8, Growth: 1.05}
+}
+
+func (c *Competitive) currentMargin() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.inited {
+		c.margin = c.InitMargin
+		c.inited = true
+	}
+	return c.margin
+}
+
+// Price implements SellerStrategy.
+func (c *Competitive) Price(_ string, truth float64) float64 {
+	return truth * (1 + c.currentMargin())
+}
+
+// Improve implements SellerStrategy: undercut the best competing price while
+// staying above the minimum margin.
+func (c *Competitive) Improve(_ string, current, truth, competing float64) (float64, bool) {
+	floor := truth * (1 + c.MinMargin)
+	if competing <= 0 || competing <= floor || current <= competing {
+		return current, false
+	}
+	ask := competing * 0.95
+	if ask < floor {
+		ask = floor
+	}
+	if ask >= current {
+		return current, false
+	}
+	return ask, true
+}
+
+// Observe implements SellerStrategy.
+func (c *Competitive) Observe(_ string, won bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.inited {
+		c.margin = c.InitMargin
+		c.inited = true
+	}
+	if won {
+		c.margin *= c.Growth
+		if c.margin > c.MaxMargin {
+			c.margin = c.MaxMargin
+		}
+	} else {
+		c.margin *= c.Decay
+		if c.margin < c.MinMargin {
+			c.margin = c.MinMargin
+		}
+	}
+}
+
+// Margin reports the current adaptive margin (for experiments).
+func (c *Competitive) Margin() float64 { return c.currentMargin() }
+
+// LoadAware wraps another strategy and scales prices by the node's current
+// load factor, so busy sellers price themselves out of further work.
+type LoadAware struct {
+	Inner SellerStrategy
+	Load  func() float64 // current load in [0, ∞); 0 = idle
+}
+
+// Price implements SellerStrategy.
+func (l *LoadAware) Price(qid string, truth float64) float64 {
+	return l.Inner.Price(qid, truth) * (1 + l.load())
+}
+
+// Improve implements SellerStrategy.
+func (l *LoadAware) Improve(qid string, current, truth, competing float64) (float64, bool) {
+	return l.Inner.Improve(qid, current, truth*(1+l.load()), competing)
+}
+
+// Observe implements SellerStrategy.
+func (l *LoadAware) Observe(qid string, won bool) { l.Inner.Observe(qid, won) }
+
+func (l *LoadAware) load() float64 {
+	if l.Load == nil {
+		return 0
+	}
+	f := l.Load()
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// BuyerStrategy produces the buyer's strategic value estimates for the
+// queries it asks for (step B1) and its bargaining counter-offers.
+type BuyerStrategy interface {
+	// Estimate returns the value to attach to a query request, given the
+	// best price seen for it so far (0 when never offered).
+	Estimate(qid string, bestSeen float64) float64
+	// CounterOffer returns the bargaining target given the best standing
+	// price.
+	CounterOffer(qid string, best float64) float64
+}
+
+// AnchoredBuyer estimates query values by anchoring on the best price seen
+// and discounting it, pressuring sellers downward round over round.
+type AnchoredBuyer struct {
+	Discount float64 // e.g. 0.9
+}
+
+// Estimate implements BuyerStrategy.
+func (b AnchoredBuyer) Estimate(_ string, bestSeen float64) float64 {
+	if bestSeen <= 0 {
+		return 0
+	}
+	return bestSeen * b.disc()
+}
+
+// CounterOffer implements BuyerStrategy.
+func (b AnchoredBuyer) CounterOffer(_ string, best float64) float64 {
+	return best * b.disc()
+}
+
+func (b AnchoredBuyer) disc() float64 {
+	if b.Discount <= 0 || b.Discount >= 1 {
+		return 0.9
+	}
+	return b.Discount
+}
+
+// TruthScore computes the truthful valuation of an offer's properties under
+// the federation weights; the seller strategies mark up from this value.
+func TruthScore(w cost.Weights, v cost.Valuation) float64 { return w.Score(v) }

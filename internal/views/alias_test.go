@@ -1,0 +1,118 @@
+package views
+
+import (
+	"strings"
+	"testing"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/storage"
+	"qtrade/internal/value"
+)
+
+// TestAliasIndependence: the query and the view may use entirely different
+// aliases for the same tables; matching goes by table name.
+func TestAliasIndependence(t *testing.T) {
+	v := &storage.MaterializedView{
+		Name: "vt",
+		SQL: `SELECT cust.office, SUM(lines.charge) AS total
+		      FROM customer cust, invoiceline lines
+		      WHERE cust.custid = lines.custid GROUP BY cust.office`,
+		Columns: []catalog.ColumnDef{
+			{Name: "office", Kind: value.Str},
+			{Name: "total", Kind: value.Float},
+		},
+	}
+	q := sqlparse.MustParseSelect(`SELECT a.office, SUM(b.charge) AS total
+		FROM customer a, invoiceline b WHERE a.custid = b.custid GROUP BY a.office`)
+	m, ok := MatchView(q, v)
+	if !ok {
+		t.Fatal("alias-renamed query must match")
+	}
+	if m.ReAggregated {
+		t.Fatal("exact grouping, no re-aggregation")
+	}
+	if !strings.Contains(m.Comp.SQL(), "FROM vt") {
+		t.Fatalf("compensation: %s", m.Comp.SQL())
+	}
+}
+
+func TestSelfJoinViewRejected(t *testing.T) {
+	v := &storage.MaterializedView{
+		Name: "selfjoin",
+		SQL:  "SELECT a.custid FROM customer a, customer b WHERE a.custid = b.custid",
+		Columns: []catalog.ColumnDef{
+			{Name: "custid", Kind: value.Int},
+		},
+	}
+	q := sqlparse.MustParseSelect(
+		"SELECT a.custid FROM customer a, customer b WHERE a.custid = b.custid")
+	if _, ok := MatchView(q, v); ok {
+		t.Fatal("self-join views are out of scope and must be rejected")
+	}
+}
+
+func TestViewWithExtraPredicateColumnInOutput(t *testing.T) {
+	// The view keeps charge in its output, so compensation predicates on
+	// charge are expressible even though the view filtered on it too.
+	v := &storage.MaterializedView{
+		Name: "big",
+		SQL:  "SELECT i.invid, i.charge FROM invoiceline i WHERE i.charge > 5",
+		Columns: []catalog.ColumnDef{
+			{Name: "invid", Kind: value.Int},
+			{Name: "charge", Kind: value.Float},
+		},
+	}
+	q := sqlparse.MustParseSelect(
+		"SELECT i.invid FROM invoiceline i WHERE i.charge > 5 AND i.charge < 100 AND i.invid <> 3")
+	m, ok := MatchView(q, v)
+	if !ok {
+		t.Fatal("must match with compensation")
+	}
+	sql := m.Comp.SQL()
+	if !strings.Contains(sql, "charge < 100") || !strings.Contains(sql, "invid <> 3") {
+		t.Fatalf("compensation predicates missing: %s", sql)
+	}
+	if strings.Contains(sql, "charge > 5") {
+		t.Fatalf("already-guaranteed predicate must not be re-applied: %s", sql)
+	}
+}
+
+func TestOrderByThroughView(t *testing.T) {
+	v := &storage.MaterializedView{
+		Name: "plain",
+		SQL:  "SELECT i.invid, i.charge FROM invoiceline i",
+		Columns: []catalog.ColumnDef{
+			{Name: "invid", Kind: value.Int},
+			{Name: "charge", Kind: value.Float},
+		},
+	}
+	q := sqlparse.MustParseSelect(
+		"SELECT i.invid FROM invoiceline i ORDER BY i.charge DESC LIMIT 3")
+	m, ok := MatchView(q, v)
+	if !ok {
+		t.Fatal("must match")
+	}
+	if len(m.Comp.OrderBy) != 1 || !m.Comp.OrderBy[0].Desc || m.Comp.Limit != 3 {
+		t.Fatalf("order/limit must survive: %s", m.Comp.SQL())
+	}
+}
+
+func TestGroupColumnMissingFromViewOutput(t *testing.T) {
+	// The view groups by (office, custid) but only exposes office: rollup
+	// by custid is impossible.
+	v := &storage.MaterializedView{
+		Name: "narrowagg",
+		SQL: `SELECT c.office, SUM(i.charge) AS total FROM customer c, invoiceline i
+		      WHERE c.custid = i.custid GROUP BY c.office, c.custid`,
+		Columns: []catalog.ColumnDef{
+			{Name: "office", Kind: value.Str},
+			{Name: "total", Kind: value.Float},
+		},
+	}
+	q := sqlparse.MustParseSelect(`SELECT c.custid, SUM(i.charge) AS t FROM customer c, invoiceline i
+		WHERE c.custid = i.custid GROUP BY c.custid`)
+	if _, ok := MatchView(q, v); ok {
+		t.Fatal("group column missing from view output must reject")
+	}
+}

@@ -1,0 +1,412 @@
+// Package views implements answering-queries-using-materialized-views
+// matching, the machinery behind the paper's seller predicates analyser
+// (§3.5): when a node stores a materialized view whose definition subsumes a
+// query the buyer asked for — same relations, weaker predicate, compatible
+// (possibly coarser) grouping — the node can offer the view's contents at a
+// much lower value than recomputing the query. The matcher is conservative:
+// it only reports a match it can compensate exactly.
+package views
+
+import (
+	"strings"
+
+	"qtrade/internal/expr"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/storage"
+)
+
+// Match describes how a query can be answered from a materialized view.
+type Match struct {
+	View *storage.MaterializedView
+	// Comp is the compensating query over the view: its FROM is the view
+	// name, its WHERE/GROUP BY re-filter and re-aggregate view rows into the
+	// query's answer.
+	Comp *sqlparse.Select
+	// ReAggregated reports whether the compensation re-aggregates (query
+	// grouping coarser than the view's).
+	ReAggregated bool
+}
+
+// MatchView reports whether view can answer q, returning the compensating
+// query when it can.
+func MatchView(q *sqlparse.Select, view *storage.MaterializedView) (*Match, bool) {
+	vsel, err := sqlparse.ParseSelect(view.SQL)
+	if err != nil {
+		return nil, false
+	}
+	// 1. Relation sets must coincide (by table name, each used once).
+	rename, ok := alignFrom(q, vsel)
+	if !ok {
+		return nil, false
+	}
+	qWhere := expr.RenameTables(q.Where, rename)
+
+	// 2. Query predicate must imply the view predicate (view keeps a
+	// superset of the query's rows).
+	if !expr.Implies(qWhere, vsel.Where) {
+		return nil, false
+	}
+	// Compensation keeps the query conjuncts not already guaranteed by the
+	// view definition.
+	var comp []expr.Expr
+	vConj := map[string]bool{}
+	for _, c := range expr.Conjuncts(vsel.Where) {
+		vConj[c.String()] = true
+	}
+	for _, c := range expr.Conjuncts(qWhere) {
+		if !vConj[c.String()] && !expr.Implies(expr.And([]expr.Expr{vsel.Where}), c) {
+			comp = append(comp, c)
+		}
+	}
+
+	out := newOutputMap(vsel, view)
+	qAgg := q.HasAggregates() || len(q.GroupBy) > 0
+	vAgg := vsel.HasAggregates() || len(vsel.GroupBy) > 0
+
+	switch {
+	case !qAgg && !vAgg:
+		return matchSPJ(q, view, rename, comp, out)
+	case qAgg && !vAgg:
+		return matchAggOverSPJ(q, view, rename, comp, out)
+	case qAgg && vAgg:
+		return matchRollup(q, vsel, view, rename, comp, out)
+	default: // view aggregated, query not: detail is lost
+		return nil, false
+	}
+}
+
+// BestMatches returns the matches of all stored views against q.
+func BestMatches(q *sqlparse.Select, store *storage.Store) []*Match {
+	var out []*Match
+	for _, v := range store.Views() {
+		if m, ok := MatchView(q, v); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// alignFrom maps query bindings onto view bindings table-by-table. Both
+// sides must reference the same set of table names, each exactly once.
+func alignFrom(q, v *sqlparse.Select) (map[string]string, bool) {
+	if len(q.From) != len(v.From) {
+		return nil, false
+	}
+	vByTable := map[string]sqlparse.TableRef{}
+	for _, tr := range v.From {
+		key := strings.ToLower(tr.Name)
+		if _, dup := vByTable[key]; dup {
+			return nil, false // self-join views unsupported
+		}
+		vByTable[key] = tr
+	}
+	rename := map[string]string{}
+	seen := map[string]bool{}
+	for _, tr := range q.From {
+		key := strings.ToLower(tr.Name)
+		vt, ok := vByTable[key]
+		if !ok || seen[key] {
+			return nil, false
+		}
+		seen[key] = true
+		rename[strings.ToLower(tr.Binding())] = vt.Binding()
+	}
+	return rename, true
+}
+
+// outputMap resolves view-namespace expressions to view output column names.
+type outputMap struct {
+	viewName string
+	// byExpr maps the canonical string of a view select item's expression to
+	// the output column name.
+	byExpr map[string]string
+}
+
+func newOutputMap(vsel *sqlparse.Select, view *storage.MaterializedView) *outputMap {
+	m := &outputMap{viewName: view.Name, byExpr: map[string]string{}}
+	for i, it := range vsel.Items {
+		if it.Star || it.Expr == nil {
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*expr.Column); ok {
+				name = c.Name
+			}
+		}
+		if name == "" && i < len(view.Columns) {
+			name = view.Columns[i].Name
+		}
+		if name != "" {
+			m.byExpr[it.Expr.String()] = name
+		}
+	}
+	return m
+}
+
+// rewrite maps a view-namespace expression onto view output columns; ok is
+// false when some subexpression is not available in the view output.
+func (m *outputMap) rewrite(e expr.Expr) (expr.Expr, bool) {
+	if e == nil {
+		return nil, true
+	}
+	if name, hit := m.byExpr[e.String()]; hit {
+		return expr.NewColumn("", name), true
+	}
+	switch t := e.(type) {
+	case *expr.Lit:
+		return expr.Clone(e), true
+	case *expr.Binary:
+		l, okl := m.rewrite(t.L)
+		r, okr := m.rewrite(t.R)
+		if !okl || !okr {
+			return nil, false
+		}
+		return &expr.Binary{Op: t.Op, L: l, R: r}, true
+	case *expr.Unary:
+		x, ok := m.rewrite(t.X)
+		if !ok {
+			return nil, false
+		}
+		return &expr.Unary{Op: t.Op, X: x}, true
+	case *expr.In:
+		x, ok := m.rewrite(t.X)
+		if !ok {
+			return nil, false
+		}
+		list := make([]expr.Expr, len(t.List))
+		for i, item := range t.List {
+			li, ok := m.rewrite(item)
+			if !ok {
+				return nil, false
+			}
+			list[i] = li
+		}
+		return &expr.In{X: x, List: list, Not: t.Not}, true
+	case *expr.Between:
+		x, okx := m.rewrite(t.X)
+		lo, okl := m.rewrite(t.Lo)
+		hi, okh := m.rewrite(t.Hi)
+		if !okx || !okl || !okh {
+			return nil, false
+		}
+		return &expr.Between{X: x, Lo: lo, Hi: hi, Not: t.Not}, true
+	case *expr.IsNull:
+		x, ok := m.rewrite(t.X)
+		if !ok {
+			return nil, false
+		}
+		return &expr.IsNull{X: x, Not: t.Not}, true
+	}
+	return nil, false
+}
+
+// matchSPJ compensates a select-project-join query from an SPJ view.
+func matchSPJ(q *sqlparse.Select, view *storage.MaterializedView, rename map[string]string, comp []expr.Expr, out *outputMap) (*Match, bool) {
+	sel := &sqlparse.Select{Limit: q.Limit, Distinct: q.Distinct,
+		From: []sqlparse.TableRef{{Name: view.Name}}}
+	for _, it := range q.Items {
+		if it.Star {
+			return nil, false
+		}
+		e, ok := out.rewrite(expr.RenameTables(it.Expr, rename))
+		if !ok {
+			return nil, false
+		}
+		alias := it.Alias
+		if alias == "" {
+			if c, okc := it.Expr.(*expr.Column); okc {
+				alias = c.Name
+			}
+		}
+		sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: e, Alias: alias})
+	}
+	w, ok := rewriteAll(out, comp)
+	if !ok {
+		return nil, false
+	}
+	sel.Where = w
+	for _, ob := range q.OrderBy {
+		e, ok := out.rewrite(expr.RenameTables(ob.Expr, rename))
+		if !ok {
+			return nil, false
+		}
+		sel.OrderBy = append(sel.OrderBy, sqlparse.OrderItem{Expr: e, Desc: ob.Desc})
+	}
+	return &Match{View: view, Comp: sel}, true
+}
+
+// matchAggOverSPJ aggregates an SPJ view into the query's groups.
+func matchAggOverSPJ(q *sqlparse.Select, view *storage.MaterializedView, rename map[string]string, comp []expr.Expr, out *outputMap) (*Match, bool) {
+	sel := &sqlparse.Select{Limit: q.Limit, From: []sqlparse.TableRef{{Name: view.Name}}}
+	for _, it := range q.Items {
+		if it.Star {
+			return nil, false
+		}
+		e, ok := rewriteWithAggs(out, expr.RenameTables(it.Expr, rename))
+		if !ok {
+			return nil, false
+		}
+		sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: e, Alias: it.Alias})
+	}
+	w, ok := rewriteAll(out, comp)
+	if !ok {
+		return nil, false
+	}
+	sel.Where = w
+	for _, g := range q.GroupBy {
+		e, ok := out.rewrite(expr.RenameTables(g, rename))
+		if !ok {
+			return nil, false
+		}
+		sel.GroupBy = append(sel.GroupBy, e)
+	}
+	if q.Having != nil {
+		h, ok := rewriteWithAggs(out, expr.RenameTables(q.Having, rename))
+		if !ok {
+			return nil, false
+		}
+		sel.Having = h
+	}
+	return &Match{View: view, Comp: sel, ReAggregated: true}, true
+}
+
+// rewriteWithAggs rewrites an expression that may contain aggregates whose
+// arguments must map to view output columns.
+func rewriteWithAggs(out *outputMap, e expr.Expr) (expr.Expr, bool) {
+	switch t := e.(type) {
+	case *expr.Agg:
+		if t.Star {
+			return &expr.Agg{Fn: t.Fn, Star: true}, true
+		}
+		arg, ok := out.rewrite(t.Arg)
+		if !ok {
+			return nil, false
+		}
+		return &expr.Agg{Fn: t.Fn, Arg: arg, Distinct: t.Distinct}, true
+	case *expr.Binary:
+		l, okl := rewriteWithAggs(out, t.L)
+		r, okr := rewriteWithAggs(out, t.R)
+		if !okl || !okr {
+			return nil, false
+		}
+		return &expr.Binary{Op: t.Op, L: l, R: r}, true
+	case *expr.Unary:
+		x, ok := rewriteWithAggs(out, t.X)
+		if !ok {
+			return nil, false
+		}
+		return &expr.Unary{Op: t.Op, X: x}, true
+	}
+	return out.rewrite(e)
+}
+
+// matchRollup compensates an aggregate query from an aggregated view whose
+// grouping is at least as fine as the query's.
+func matchRollup(q, vsel *sqlparse.Select, view *storage.MaterializedView, rename map[string]string, comp []expr.Expr, out *outputMap) (*Match, bool) {
+	// Every query group expression must be one of the view's group
+	// expressions and be available in the view output.
+	vGroups := map[string]bool{}
+	for _, g := range vsel.GroupBy {
+		vGroups[g.String()] = true
+	}
+	var qGroupsOut []expr.Expr
+	for _, g := range q.GroupBy {
+		rg := expr.RenameTables(g, rename)
+		if !vGroups[rg.String()] {
+			return nil, false
+		}
+		e, ok := out.rewrite(rg)
+		if !ok {
+			return nil, false
+		}
+		qGroupsOut = append(qGroupsOut, e)
+	}
+	exact := len(q.GroupBy) == len(vsel.GroupBy)
+	// Compensation predicates may only touch group columns (finer detail is
+	// gone).
+	w, ok := rewriteAll(out, comp)
+	if !ok {
+		return nil, false
+	}
+
+	sel := &sqlparse.Select{Limit: q.Limit, From: []sqlparse.TableRef{{Name: view.Name}}, Where: w}
+	sel.GroupBy = qGroupsOut
+	reAgg := !exact
+
+	for _, it := range q.Items {
+		if it.Star {
+			return nil, false
+		}
+		e, ok := deriveAgg(out, expr.RenameTables(it.Expr, rename), exact)
+		if !ok {
+			return nil, false
+		}
+		sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: e, Alias: it.Alias})
+	}
+	if q.Having != nil {
+		h, ok := deriveAgg(out, expr.RenameTables(q.Having, rename), exact)
+		if !ok {
+			return nil, false
+		}
+		sel.Having = h
+	}
+	if exact {
+		// Same grouping: no re-aggregation, plain projection of view rows.
+		sel.GroupBy = nil
+	}
+	return &Match{View: view, Comp: sel, ReAggregated: reAgg}, true
+}
+
+// deriveAgg maps a (possibly aggregate) query expression onto an aggregated
+// view: SUM(x) -> SUM(sum_x), COUNT(*) -> SUM(cnt), MIN/MAX -> MIN/MAX of
+// the stored extreme. With exact grouping the stored value is used directly.
+func deriveAgg(out *outputMap, e expr.Expr, exact bool) (expr.Expr, bool) {
+	switch t := e.(type) {
+	case *expr.Agg:
+		stored, hit := out.byExpr[t.String()]
+		if !hit {
+			return nil, false
+		}
+		col := expr.NewColumn("", stored)
+		if exact {
+			return col, true
+		}
+		switch t.Fn {
+		case "SUM", "COUNT":
+			if t.Distinct {
+				return nil, false // DISTINCT aggregates do not roll up
+			}
+			return &expr.Agg{Fn: "SUM", Arg: col}, true
+		case "MIN", "MAX":
+			return &expr.Agg{Fn: t.Fn, Arg: col}, true
+		}
+		return nil, false // AVG does not roll up without SUM+COUNT
+	case *expr.Binary:
+		l, okl := deriveAgg(out, t.L, exact)
+		r, okr := deriveAgg(out, t.R, exact)
+		if !okl || !okr {
+			return nil, false
+		}
+		return &expr.Binary{Op: t.Op, L: l, R: r}, true
+	case *expr.Unary:
+		x, ok := deriveAgg(out, t.X, exact)
+		if !ok {
+			return nil, false
+		}
+		return &expr.Unary{Op: t.Op, X: x}, true
+	}
+	return out.rewrite(e)
+}
+
+func rewriteAll(out *outputMap, conj []expr.Expr) (expr.Expr, bool) {
+	var mapped []expr.Expr
+	for _, c := range conj {
+		e, ok := out.rewrite(c)
+		if !ok {
+			return nil, false
+		}
+		mapped = append(mapped, e)
+	}
+	return expr.And(mapped), true
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"qtrade/internal/core"
+	"qtrade/internal/cost"
+	"qtrade/internal/node"
+	"qtrade/internal/plan"
+	"qtrade/internal/sqlparse"
+)
+
+// aggQuery exercises every decomposable aggregate, including AVG (which
+// must merge as SUM/COUNT, not AVG of AVGs — the classic pitfall).
+const aggQuery = `SELECT c.office, SUM(i.charge) AS total, COUNT(*) AS n,
+	MIN(i.charge) AS lo, MAX(i.charge) AS hi, AVG(i.charge) AS mean
+	FROM customer c, invoiceline i
+	WHERE c.custid = i.custid
+	GROUP BY c.office ORDER BY c.office`
+
+func runTelcoAgg(t *testing.T, disablePush bool) (*core.Result, string, string) {
+	t.Helper()
+	// A WAN-ish network: shipping raw rows dominates, which is exactly the
+	// regime aggregate pushdown exists for.
+	slow := cost.Default()
+	slow.BytesPerMS = 200
+	f := NewTelco(TelcoOptions{
+		Seed: 9, CustomersPerOffice: 40, LinesPerCustomer: 5, Model: slow,
+		Configure: func(c *node.Config) { c.DisableAggPush = disablePush },
+	})
+	truth, err := f.GroundTruth(aggQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.BuyerConfig()
+	cfg.Cost = slow
+	res, err := f.Optimize(cfg, aggQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Execute(res)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, core.ExplainResult(res))
+	}
+	return res, rowsKey(got.Rows), rowsKey(truth.Rows)
+}
+
+func TestAggregatePushdownCorrectAndCheaper(t *testing.T) {
+	pushed, gotP, wantP := runTelcoAgg(t, false)
+	if gotP != wantP {
+		t.Fatalf("pushed answer differs:\ngot  %v\nwant %v\n%s", gotP, wantP, core.ExplainResult(pushed))
+	}
+	raw, gotR, wantR := runTelcoAgg(t, true)
+	if gotR != wantR {
+		t.Fatalf("raw answer differs:\ngot  %v\nwant %v", gotR, wantR)
+	}
+	// The pushed plan must actually use partial aggregates and be cheaper.
+	usedPush := false
+	for _, o := range pushed.Candidate.Offers {
+		if o.PartialAgg {
+			usedPush = true
+		}
+	}
+	if !usedPush {
+		t.Fatalf("partial-aggregate offers did not win:\n%s", core.ExplainResult(pushed))
+	}
+	if pushed.Candidate.ResponseTime >= raw.Candidate.ResponseTime {
+		t.Fatalf("pushdown must be cheaper: %.3f vs %.3f",
+			pushed.Candidate.ResponseTime, raw.Candidate.ResponseTime)
+	}
+}
+
+func TestAggregatePushdownDisabledForDistinct(t *testing.T) {
+	f := NewTelco(TelcoOptions{Seed: 9, CustomersPerOffice: 10})
+	q := `SELECT c.office, COUNT(DISTINCT i.invid) AS inv FROM customer c, invoiceline i
+	      WHERE c.custid = i.custid GROUP BY c.office`
+	truth, err := f.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Optimize(f.BuyerConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Candidate.Offers {
+		if o.PartialAgg {
+			t.Fatal("DISTINCT aggregates must not push down")
+		}
+	}
+	got, err := f.Execute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(got.Rows) != rowsKey(truth.Rows) {
+		t.Fatal("distinct aggregation answer differs")
+	}
+}
+
+func TestDecomposeAggregates(t *testing.T) {
+	sel := sqlparse.MustParseSelect(aggQuery)
+	d, ok := plan.DecomposeAggregates(sel)
+	if !ok {
+		t.Fatal("must decompose")
+	}
+	if len(d.Aggs) != 5 {
+		t.Fatalf("aggs: %d", len(d.Aggs))
+	}
+	// AVG contributes two partials: 5 aggs -> 6 partials.
+	if len(d.Partials) != 6 {
+		t.Fatalf("partials: %d", len(d.Partials))
+	}
+	if items := d.PartialItems(); len(items) != 1+6 {
+		t.Fatalf("partial items: %d", len(items))
+	}
+	// Grouping by an expression disables pushdown.
+	if _, ok := plan.DecomposeAggregates(sqlparse.MustParseSelect(
+		"SELECT COUNT(*) FROM customer c GROUP BY c.custid % 2")); ok {
+		t.Fatal("expression grouping must not decompose")
+	}
+	// DISTINCT disables pushdown.
+	if _, ok := plan.DecomposeAggregates(sqlparse.MustParseSelect(
+		"SELECT SUM(DISTINCT c.custid) FROM customer c")); ok {
+		t.Fatal("DISTINCT must not decompose")
+	}
+	// Non-aggregate queries do not decompose.
+	if _, ok := plan.DecomposeAggregates(sqlparse.MustParseSelect(
+		"SELECT c.custid FROM customer c")); ok {
+		t.Fatal("plain SPJ must not decompose")
+	}
+}
+
+func TestGlobalAggregatePushdown(t *testing.T) {
+	// No GROUP BY: one partial row per seller, merged into one global row.
+	f := NewTelco(TelcoOptions{Seed: 4, CustomersPerOffice: 30, LinesPerCustomer: 4})
+	q := "SELECT SUM(i.charge) AS total, COUNT(*) AS n FROM customer c, invoiceline i WHERE c.custid = i.custid"
+	truth, err := f.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Optimize(f.BuyerConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Execute(res)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, core.ExplainResult(res))
+	}
+	if rowsKey(got.Rows) != rowsKey(truth.Rows) {
+		t.Fatalf("global agg differs:\ngot  %v\nwant %v\n%s",
+			got.Rows, truth.Rows, core.ExplainResult(res))
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qtrade/internal/core"
+)
+
+// TestFuzzChainFederations cross-checks the full QT pipeline against the
+// single-node oracle over randomized federations: random relation counts,
+// partitioning, replication, node counts, plan generator modes and filter
+// selectivities. Any divergence between the distributed answer and the
+// oracle is a correctness bug somewhere in the trading stack.
+func TestFuzzChainFederations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz in short mode")
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	modes := []core.PlanGenMode{core.GenDP, core.GenIDP, core.GenGreedy}
+	trials := 30
+	for i := 0; i < trials; i++ {
+		opts := ChainOptions{
+			Relations:  2 + rng.Intn(3),
+			RowsPerRel: 30 + rng.Intn(60),
+			Parts:      1 + rng.Intn(4),
+			Nodes:      2 + rng.Intn(5),
+			Replicas:   1 + rng.Intn(2),
+			Seed:       int64(i * 31),
+		}
+		selFrac := []float64{1, 0.5, 0.25}[rng.Intn(3)]
+		mode := modes[rng.Intn(len(modes))]
+		label := fmt.Sprintf("trial %d: %+v selFrac=%.2f mode=%s", i, opts, selFrac, mode)
+
+		f := NewChain(opts)
+		q := ChainQuery(opts, selFrac)
+		truth, err := f.GroundTruth(q)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", label, err)
+		}
+		cfg := f.BuyerConfig()
+		cfg.Mode = mode
+		res, err := f.Optimize(cfg, q)
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", label, err)
+		}
+		got, err := f.Execute(res)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", label, err)
+		}
+		if rowsKey(got.Rows) != rowsKey(truth.Rows) {
+			t.Fatalf("%s: answer differs: %d vs %d rows\nquery: %s",
+				label, len(got.Rows), len(truth.Rows), q)
+		}
+	}
+}
+
+// TestFuzzTelcoQueries randomizes the telco workload and office subsets.
+func TestFuzzTelcoQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz in short mode")
+	}
+	rng := rand.New(rand.NewSource(42))
+	allOffices := []string{"Corfu", "Myconos", "Athens", "Rhodes"}
+	for i := 0; i < 12; i++ {
+		nOffices := 2 + rng.Intn(3)
+		offices := append([]string{}, allOffices[:nOffices]...)
+		f := NewTelco(TelcoOptions{
+			Offices:            offices,
+			CustomersPerOffice: 5 + rng.Intn(20),
+			LinesPerCustomer:   1 + rng.Intn(3),
+			InvoiceReplicas:    1 + rng.Intn(nOffices),
+			Seed:               int64(i),
+		})
+		// Random non-empty office subset for the IN list.
+		var subset []string
+		for _, o := range offices {
+			if rng.Intn(2) == 0 {
+				subset = append(subset, o)
+			}
+		}
+		if len(subset) == 0 {
+			subset = offices[:1]
+		}
+		queries := []string{
+			TotalsQuery(subset...),
+			fmt.Sprintf("SELECT c.custname, i.charge FROM customer c, invoiceline i WHERE c.custid = i.custid AND c.office IN (%s) AND i.charge > 20", quoteList(subset)),
+			fmt.Sprintf("SELECT c.custname FROM customer c WHERE c.office IN (%s) ORDER BY c.custname LIMIT 7", quoteList(subset)),
+		}
+		for _, q := range queries {
+			truth, err := f.GroundTruth(q)
+			if err != nil {
+				t.Fatalf("trial %d oracle (%s): %v", i, q, err)
+			}
+			res, err := f.Optimize(f.BuyerConfig(), q)
+			if err != nil {
+				t.Fatalf("trial %d optimize (%s): %v", i, q, err)
+			}
+			got, err := f.Execute(res)
+			if err != nil {
+				t.Fatalf("trial %d execute (%s): %v", i, q, err)
+			}
+			if !sameModuloLimit(q, rowsKey(got.Rows), rowsKey(truth.Rows), len(got.Rows), len(truth.Rows)) {
+				t.Fatalf("trial %d answer differs for %s:\ngot  %d rows\nwant %d rows",
+					i, q, len(got.Rows), len(truth.Rows))
+			}
+		}
+	}
+}
+
+func quoteList(items []string) string {
+	quoted := make([]string, len(items))
+	for i, s := range items {
+		quoted[i] = "'" + s + "'"
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// sameModuloLimit treats LIMIT queries as set-compatible when row counts
+// match (different but valid orders may pick different ties).
+func sameModuloLimit(q, gotKey, wantKey string, gotN, wantN int) bool {
+	if gotKey == wantKey {
+		return true
+	}
+	return strings.Contains(strings.ToUpper(q), "LIMIT") && gotN == wantN
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qtrade/internal/catalog"
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/sqlparse"
+	"qtrade/internal/value"
+)
+
+// StarOptions parameterizes a star-schema federation: one fact table,
+// range-partitioned on its key, joined to Dims unpartitioned dimension
+// tables scattered across nodes. Star queries produce bushy join spaces,
+// complementing the chain workload's linear ones.
+type StarOptions struct {
+	Dims       int // number of dimension tables
+	FactRows   int
+	DimRows    int
+	FactParts  int
+	Nodes      int
+	Seed       int64
+	Configure  func(*node.Config)
+	SkipOracle bool
+}
+
+// StarSchema builds fact(pk, d1 .. dK, v) plus dim1..dimK(pk, attr).
+func StarSchema(opts StarOptions) *catalog.Schema {
+	sch := catalog.NewSchema()
+	factCols := []catalog.ColumnDef{{Name: "pk", Kind: value.Int}}
+	for d := 1; d <= opts.Dims; d++ {
+		factCols = append(factCols, catalog.ColumnDef{Name: fmt.Sprintf("d%d", d), Kind: value.Int})
+	}
+	factCols = append(factCols, catalog.ColumnDef{Name: "v", Kind: value.Float})
+	sch.MustAddTable(&catalog.TableDef{Name: "fact", Columns: factCols})
+	per := opts.FactRows / opts.FactParts
+	parts := make([]*catalog.Partition, opts.FactParts)
+	for p := 0; p < opts.FactParts; p++ {
+		if opts.FactParts == 1 {
+			parts[p] = &catalog.Partition{Table: "fact", ID: "p0"}
+			continue
+		}
+		lo := p * per
+		pred := fmt.Sprintf("pk >= %d AND pk < %d", lo, lo+per)
+		if p == opts.FactParts-1 {
+			pred = fmt.Sprintf("pk >= %d", lo)
+		}
+		parts[p] = &catalog.Partition{Table: "fact", ID: fmt.Sprintf("p%d", p),
+			Predicate: sqlparse.MustParseExpr(pred)}
+	}
+	if err := sch.SetPartitions("fact", parts); err != nil {
+		panic(err)
+	}
+	for d := 1; d <= opts.Dims; d++ {
+		sch.MustAddTable(&catalog.TableDef{Name: fmt.Sprintf("dim%d", d), Columns: []catalog.ColumnDef{
+			{Name: "pk", Kind: value.Int},
+			{Name: "attr", Kind: value.Int},
+		}})
+	}
+	return sch
+}
+
+// NewStar builds the star federation: fact partitions round-robin over the
+// nodes, each dimension on one node (also round-robin). The buyer is n0.
+func NewStar(opts StarOptions) *Federation {
+	if opts.Dims <= 0 {
+		opts.Dims = 3
+	}
+	if opts.FactRows <= 0 {
+		opts.FactRows = 400
+	}
+	if opts.DimRows <= 0 {
+		opts.DimRows = 40
+	}
+	if opts.FactParts <= 0 {
+		opts.FactParts = 2
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 101))
+	sch := StarSchema(opts)
+
+	f := &Federation{Schema: sch, Net: netsim.New(), Nodes: map[string]*node.Node{}, Buyer: "n0"}
+	for i := 0; i < opts.Nodes; i++ {
+		id := fmt.Sprintf("n%d", i)
+		cfg := node.Config{ID: id, Schema: sch}
+		if opts.Configure != nil {
+			opts.Configure(&cfg)
+		}
+		n := node.New(cfg)
+		f.Nodes[id] = n
+		f.Net.Register(id, n)
+	}
+	var oracle *node.Node
+	if !opts.SkipOracle {
+		oracle = node.New(node.Config{ID: "oracle", Schema: sch})
+	}
+	f.oracle = oracle
+
+	factDef, _ := sch.Table("fact")
+	per := opts.FactRows / opts.FactParts
+	factRows := map[string][]value.Row{}
+	for i := 0; i < opts.FactRows; i++ {
+		p := i / per
+		if p >= opts.FactParts {
+			p = opts.FactParts - 1
+		}
+		pid := fmt.Sprintf("p%d", p)
+		row := value.Row{value.NewInt(int64(i))}
+		for d := 1; d <= opts.Dims; d++ {
+			row = append(row, value.NewInt(int64(rng.Intn(opts.DimRows))))
+		}
+		row = append(row, value.NewFloat(float64(rng.Intn(1000))/10))
+		factRows[pid] = append(factRows[pid], row)
+	}
+	loadFrag := func(n *node.Node, def *catalog.TableDef, pid string, rows []value.Row) {
+		if _, err := n.Store().CreateFragment(def, pid); err != nil {
+			panic(err)
+		}
+		if err := n.Store().Insert(def.Name, pid, rows...); err != nil {
+			panic(err)
+		}
+	}
+	seq := 0
+	for p := 0; p < opts.FactParts; p++ {
+		pid := fmt.Sprintf("p%d", p)
+		holder := f.Nodes[fmt.Sprintf("n%d", seq%opts.Nodes)]
+		loadFrag(holder, factDef, pid, factRows[pid])
+		if oracle != nil {
+			loadFrag(oracle, factDef, pid, factRows[pid])
+		}
+		seq++
+	}
+	for d := 1; d <= opts.Dims; d++ {
+		def, _ := sch.Table(fmt.Sprintf("dim%d", d))
+		rows := make([]value.Row, opts.DimRows)
+		for i := range rows {
+			rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(rng.Intn(100)))}
+		}
+		holder := f.Nodes[fmt.Sprintf("n%d", seq%opts.Nodes)]
+		loadFrag(holder, def, "p0", rows)
+		if oracle != nil {
+			loadFrag(oracle, def, "p0", rows)
+		}
+		seq++
+	}
+	return f
+}
+
+// StarQuery joins the fact with every dimension, with an optional
+// selectivity filter on fact.pk and on the first dimension's attribute.
+func StarQuery(opts StarOptions, factFrac float64) string {
+	q := "SELECT fact.pk, fact.v"
+	for d := 1; d <= opts.Dims; d++ {
+		q += fmt.Sprintf(", dim%d.attr", d)
+	}
+	q += " FROM fact"
+	for d := 1; d <= opts.Dims; d++ {
+		q += fmt.Sprintf(", dim%d", d)
+	}
+	where := ""
+	for d := 1; d <= opts.Dims; d++ {
+		if where != "" {
+			where += " AND "
+		}
+		where += fmt.Sprintf("fact.d%d = dim%d.pk", d, d)
+	}
+	if factFrac > 0 && factFrac < 1 {
+		where += fmt.Sprintf(" AND fact.pk < %d", int(float64(opts.FactRows)*factFrac))
+	}
+	return q + " WHERE " + where
+}

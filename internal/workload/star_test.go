@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"qtrade/internal/core"
+	"qtrade/internal/expr"
+	"qtrade/internal/sqlparse"
+)
+
+func TestStarFederationEndToEnd(t *testing.T) {
+	opts := StarOptions{Dims: 3, FactRows: 120, DimRows: 20, FactParts: 2, Nodes: 4, Seed: 5}
+	f := NewStar(opts)
+	q := StarQuery(opts, 0.5)
+	truth, err := f.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Rows) == 0 {
+		t.Fatal("degenerate star workload")
+	}
+	res, err := f.Optimize(f.BuyerConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Execute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(got.Rows) != rowsKey(truth.Rows) {
+		t.Fatalf("star distributed != truth: %d vs %d rows", len(got.Rows), len(truth.Rows))
+	}
+}
+
+func TestStarQueryShape(t *testing.T) {
+	opts := StarOptions{Dims: 4, FactRows: 100}
+	sel := sqlparse.MustParseSelect(StarQuery(opts, 1))
+	if len(sel.From) != 5 {
+		t.Fatalf("from: %v", sel.From)
+	}
+	if got := len(expr.Conjuncts(sel.Where)); got != 4 {
+		t.Fatalf("join predicates: %d", got)
+	}
+	selFiltered := sqlparse.MustParseSelect(StarQuery(opts, 0.25))
+	if got := len(expr.Conjuncts(selFiltered.Where)); got != 5 {
+		t.Fatalf("filtered predicates: %d", got)
+	}
+}
+
+// TestFuzzStarFederations fuzzes bushy join spaces across generator modes.
+func TestFuzzStarFederations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz in short mode")
+	}
+	rng := rand.New(rand.NewSource(77))
+	modes := []core.PlanGenMode{core.GenDP, core.GenIDP, core.GenGreedy}
+	for i := 0; i < 12; i++ {
+		opts := StarOptions{
+			Dims:      2 + rng.Intn(3),
+			FactRows:  60 + rng.Intn(80),
+			DimRows:   10 + rng.Intn(20),
+			FactParts: 1 + rng.Intn(3),
+			Nodes:     2 + rng.Intn(4),
+			Seed:      int64(i * 17),
+		}
+		f := NewStar(opts)
+		q := StarQuery(opts, []float64{1, 0.5}[rng.Intn(2)])
+		truth, err := f.GroundTruth(q)
+		if err != nil {
+			t.Fatalf("trial %d oracle: %v", i, err)
+		}
+		cfg := f.BuyerConfig()
+		cfg.Mode = modes[rng.Intn(len(modes))]
+		res, err := f.Optimize(cfg, q)
+		if err != nil {
+			t.Fatalf("trial %d (%+v, mode %s): optimize: %v", i, opts, cfg.Mode, err)
+		}
+		got, err := f.Execute(res)
+		if err != nil {
+			t.Fatalf("trial %d execute: %v", i, err)
+		}
+		if rowsKey(got.Rows) != rowsKey(truth.Rows) {
+			t.Fatalf("trial %d (%+v, mode %s): answer differs: %d vs %d rows",
+				i, opts, cfg.Mode, len(got.Rows), len(truth.Rows))
+		}
+	}
+}
