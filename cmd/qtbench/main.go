@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	qtbench                 # all experiments, quick scale
-//	qtbench -full           # all experiments, paper scale (minutes)
-//	qtbench -exp F3 -exp T1 # a subset
+//	qtbench                      # all experiments, quick scale
+//	qtbench -full                # all experiments, paper scale (minutes)
+//	qtbench -exp F3 -exp T1      # a subset
 //	qtbench -seed 7
+//	qtbench -exp F3 -trace f3.json -metrics  # Chrome trace + metrics dump
+//
+// -trace writes a Chrome trace_event file of every optimization the selected
+// experiments ran (load it in chrome://tracing or https://ui.perfetto.dev);
+// -metrics prints the buyer/seller metrics snapshot after the run.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"qtrade/internal/experiments"
+	"qtrade/internal/obs"
 )
 
 type expFlags []string
@@ -27,29 +33,63 @@ func main() {
 	var exps expFlags
 	full := flag.Bool("full", false, "run at paper scale (minutes of runtime)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	metricsDump := flag.Bool("metrics", false, "print the metrics snapshot after the run")
 	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F9; default all")
 	flag.Parse()
 
-	var tables []*experiments.Table
+	var tracer *obs.Tracer
+	var metrics *obs.Metrics
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metricsDump || *tracePath != "" {
+		metrics = obs.NewMetrics()
+	}
+	if tracer != nil || metrics != nil {
+		experiments.SetObs(tracer, metrics)
+	}
+
+	var specs []experiments.Spec
 	if *full {
-		tables = experiments.Full(*seed)
+		specs = experiments.FullSpecs(*seed)
 	} else {
-		tables = experiments.Quick(*seed)
+		specs = experiments.QuickSpecs(*seed)
 	}
 	want := map[string]bool{}
 	for _, e := range exps {
 		want[e] = true
 	}
 	printed := 0
-	for _, t := range tables {
-		if len(want) > 0 && !want[t.ID] {
+	for _, s := range specs {
+		if len(want) > 0 && !want[s.ID] {
 			continue
 		}
-		t.Fprint(os.Stdout)
+		s.Run().Fprint(os.Stdout)
 		printed++
 	}
 	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, F1..F9)\n", exps)
+		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F11)\n", exps)
 		os.Exit(1)
+	}
+
+	if tracer != nil {
+		w, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qtbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = tracer.WriteChromeTrace(w)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qtbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "qtbench: wrote Chrome trace to %s\n", *tracePath)
+	}
+	if *metricsDump {
+		fmt.Print(metrics.Snapshot())
 	}
 }

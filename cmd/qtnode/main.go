@@ -8,13 +8,15 @@
 //	qtnode -id corfu -listen :7001 -offices Corfu,Myconos,Athens -office Corfu
 //
 // A buyer process can then dial each node with netsim.DialPeer and run the
-// same trading protocols used in simulation.
+// same trading protocols used in simulation. On SIGINT/SIGTERM the node
+// prints its seller-side metrics (RFBs served, offers priced, pricing
+// latency histograms) before exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +24,7 @@ import (
 
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
+	"qtrade/internal/obs"
 	"qtrade/internal/trading"
 	"qtrade/internal/value"
 	"qtrade/internal/workload"
@@ -37,7 +40,10 @@ func main() {
 	invoices := flag.Bool("invoices", true, "hold a full invoiceline replica")
 	competitive := flag.Bool("competitive", false, "price with an adaptive profit margin instead of truthfully")
 	seed := flag.Int64("seed", 1, "data seed (must match across the federation)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+
+	setupLogging(*logLevel)
 
 	offices := strings.Split(*officesFlag, ",")
 	// Build the full deterministic dataset, then keep only this node's part
@@ -51,25 +57,30 @@ func main() {
 	fed := workload.NewTelco(opts)
 	src, ok := fed.Nodes[strings.ToLower(*office)]
 	if !ok {
-		log.Fatalf("qtnode: office %q not in %v", *office, offices)
+		slog.Error("office not in federation", "office", *office, "offices", offices)
+		os.Exit(1)
 	}
 
 	var strat trading.SellerStrategy
 	if *competitive {
 		strat = trading.NewCompetitive()
 	}
-	n := node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat})
+	metrics := obs.NewMetrics()
+	n := node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat, Metrics: metrics})
 	copyStore(src, n)
 	if !*invoices {
 		// Rebuild without the invoice replica: keep only customer data.
-		n = node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat})
+		n = node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat, Metrics: metrics})
 		copyTable(src, n, "customer")
 	}
 
 	ln, err := netsim.ServeRPC(*listen, *id, n)
 	if err != nil {
-		log.Fatalf("qtnode: %v", err)
+		slog.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
+	slog.Info("serving", "id", *id, "office", *office, "addr", ln.Addr().String(),
+		"tables", fmt.Sprint(n.Store().Tables()), "competitive", *competitive)
 	fmt.Printf("qtnode %s serving office %s on %s (tables: %v)\n",
 		*id, *office, ln.Addr(), n.Store().Tables())
 
@@ -77,6 +88,29 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	_ = ln.Close()
+	slog.Info("shutting down", "id", *id)
+	if snap := metrics.Snapshot(); snap != "" {
+		fmt.Printf("-- seller metrics for %s --\n%s", *id, snap)
+	}
+}
+
+// setupLogging installs a text slog handler at the requested level.
+func setupLogging(level string) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "info", "":
+		lv = slog.LevelInfo
+	default:
+		lv = slog.LevelInfo
+		fmt.Fprintf(os.Stderr, "qtnode: unknown -log-level %q, using info\n", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})))
 }
 
 func copyStore(src, dst *node.Node) {
@@ -92,17 +126,22 @@ func copyTable(src, dst *node.Node, table string) {
 	}
 	for _, pid := range src.Store().PartIDs(table) {
 		if _, err := dst.Store().CreateFragment(def, pid); err != nil {
-			log.Fatalf("qtnode: %v", err)
+			fatal(err)
 		}
 		var rows []value.Row
 		if err := src.Store().Scan(table, pid, nil, func(r value.Row) bool {
 			rows = append(rows, r)
 			return true
 		}); err != nil {
-			log.Fatalf("qtnode: %v", err)
+			fatal(err)
 		}
 		if err := dst.Store().Insert(table, pid, rows...); err != nil {
-			log.Fatalf("qtnode: %v", err)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	slog.Error("data load failed", "err", err)
+	os.Exit(1)
 }

@@ -8,14 +8,15 @@
 //	qtnode -id myconos -listen :7002 -office Myconos &
 //	qtsql -connect corfu=localhost:7001,myconos=localhost:7002
 //
-// Commands: EXPLAIN <query>, \stats, \nodes, \quit.
+// Commands: EXPLAIN <query>, EXPLAIN ANALYZE <query>, \trace on|off,
+// \trace save <file>, \metrics, \stats, \nodes, \quit.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -23,16 +24,102 @@ import (
 	"qtrade/internal/core"
 	"qtrade/internal/exec"
 	"qtrade/internal/netsim"
+	"qtrade/internal/obs"
 	"qtrade/internal/trading"
 	"qtrade/internal/value"
 	"qtrade/internal/workload"
 )
 
+// session is the shell state shared by the in-process and remote modes.
+type session struct {
+	metrics *obs.Metrics
+	tracing bool
+	last    *obs.Tracer // spans of the most recent traced query
+
+	// attach/detach point tracing at the federation's seller nodes
+	// (no-ops in remote mode, where sellers live in other processes).
+	attach func(tr *obs.Tracer)
+}
+
+// command handles one backslash command; returns false if it wasn't one.
+func (s *session) command(line string) bool {
+	switch {
+	case line == `\trace on`:
+		s.tracing = true
+		fmt.Println("tracing on: each query records a span tree")
+	case line == `\trace off`:
+		s.tracing = false
+		fmt.Println("tracing off")
+	case strings.HasPrefix(line, `\trace save`):
+		path := strings.TrimSpace(strings.TrimPrefix(line, `\trace save`))
+		if path == "" {
+			fmt.Println(`usage: \trace save <file>`)
+			break
+		}
+		if s.last == nil {
+			fmt.Println("no traced query yet (\\trace on, then run one)")
+			break
+		}
+		w, err := os.Create(path)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		err = s.last.WriteChromeTrace(w)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+	case line == `\metrics`:
+		fmt.Print(s.metrics.Snapshot())
+	default:
+		return false
+	}
+	return true
+}
+
+// trace parses the EXPLAIN / EXPLAIN ANALYZE prefixes and, when tracing is
+// on, returns a fresh tracer attached to the federation for this query.
+func (s *session) begin(line string) (sql string, explainOnly, analyze bool, tr *obs.Tracer) {
+	sql = line
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN ANALYZE "):
+		analyze = true
+		sql = strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
+	case strings.HasPrefix(upper, "EXPLAIN "):
+		explainOnly = true
+		sql = strings.TrimSpace(line[len("EXPLAIN "):])
+	}
+	if s.tracing {
+		tr = obs.NewTracer()
+		s.last = tr
+		s.attach(tr)
+	}
+	return sql, explainOnly, analyze, tr
+}
+
+// end detaches the per-query tracer and prints its span tree.
+func (s *session) end(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	s.attach(nil)
+	fmt.Print(tr.RenderText())
+}
+
 func main() {
 	customers := flag.Int("customers", 50, "customers per office")
 	offices := flag.String("offices", "Corfu,Myconos,Athens", "federation offices")
 	connect := flag.String("connect", "", "comma-separated id=addr pairs of qtnode servers; empty = in-process simulation")
+	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+
+	setupLogging(*logLevel)
 
 	if *connect != "" {
 		runRemote(*offices, *connect)
@@ -44,8 +131,12 @@ func main() {
 		CustomersPerOffice: *customers,
 		Seed:               1,
 	})
+	s := &session{metrics: obs.NewMetrics()}
+	s.attach = func(tr *obs.Tracer) { f.SetObs(tr, s.metrics) }
+	s.attach(nil) // metrics-only steady state
+	slog.Info("federation ready", "offices", *offices, "customers", *customers)
 	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
-	fmt.Println(`type SQL, "EXPLAIN <sql>", "\stats", "\nodes" or "\quit"`)
+	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\stats", "\nodes" or "\quit"`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -63,6 +154,9 @@ func main() {
 		case line == `\stats`:
 			msgs, bytes := f.Net.Stats()
 			fmt.Printf("network: %d messages, %d bytes\n", msgs, bytes)
+			for _, pt := range sortedPairs(f.Net) {
+				fmt.Printf("  %-20s %d messages, %d bytes\n", pt.label, pt.stats.Messages, pt.stats.Bytes)
+			}
 			continue
 		case line == `\nodes`:
 			ids := make([]string, 0, len(f.Nodes))
@@ -75,30 +169,82 @@ func main() {
 				fmt.Printf("  %-10s tables=%v\n", id, n.Store().Tables())
 			}
 			continue
+		case s.command(line):
+			continue
+		case strings.HasPrefix(line, `\`):
+			fmt.Printf("unknown command %s\n", line)
+			continue
 		}
-		explainOnly := false
-		sql := line
-		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ") {
-			explainOnly = true
-			sql = strings.TrimSpace(line[len("EXPLAIN "):])
-		}
-		res, err := f.Optimize(f.BuyerConfig(), sql)
+		sql, explainOnly, analyze, tr := s.begin(line)
+		cfg := f.BuyerConfig()
+		cfg.Metrics = s.metrics
+		cfg.Tracer = tr
+		res, err := f.Optimize(cfg, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
+			s.end(tr)
+			continue
+		}
+		if analyze {
+			st := exec.NewRunStats()
+			ex := &exec.Executor{Store: f.Nodes[f.Buyer].Store(), Stats: st}
+			if _, err := core.ExecuteResult(f.Comm(), ex, res); err != nil {
+				fmt.Printf("execution error: %v\n", err)
+				s.end(tr)
+				continue
+			}
+			fmt.Print(core.ExplainAnalyze(res, st))
+			s.end(tr)
 			continue
 		}
 		fmt.Print(core.ExplainResult(res))
 		if explainOnly {
+			s.end(tr)
 			continue
 		}
 		ex := &exec.Executor{Store: f.Nodes[f.Buyer].Store()}
 		out, err := core.ExecuteResult(f.Comm(), ex, res)
+		s.end(tr)
 		if err != nil {
 			fmt.Printf("execution error: %v\n", err)
 			continue
 		}
 		printResult(out)
 	}
+}
+
+// setupLogging installs a text slog handler at the requested level.
+func setupLogging(level string) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "error":
+		lv = slog.LevelError
+	case "warn", "":
+		lv = slog.LevelWarn
+	default:
+		lv = slog.LevelWarn
+		fmt.Fprintf(os.Stderr, "qtsql: unknown -log-level %q, using warn\n", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})))
+}
+
+type pairLine struct {
+	label string
+	stats netsim.PairStats
+}
+
+func sortedPairs(net *netsim.Network) []pairLine {
+	byPair := net.StatsByPair()
+	out := make([]pairLine, 0, len(byPair))
+	for p, st := range byPair {
+		out = append(out, pairLine{label: p.From + "->" + p.To, stats: st})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
 }
 
 // runRemote drives a federation of qtnode processes over net/rpc.
@@ -109,15 +255,18 @@ func runRemote(offices, connect string) {
 	for _, pair := range strings.Split(connect, ",") {
 		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok {
-			log.Fatalf("qtsql: bad -connect entry %q (want id=addr)", pair)
+			slog.Error("bad -connect entry (want id=addr)", "entry", pair)
+			os.Exit(1)
 		}
 		p, err := netsim.DialPeer(addr, id)
 		if err != nil {
-			log.Fatalf("qtsql: dial %s (%s): %v", id, addr, err)
+			slog.Error("dial failed", "node", id, "addr", addr, "err", err)
+			os.Exit(1)
 		}
 		defer p.Close()
 		peers[id] = p
 		rpcPeers[id] = p
+		slog.Info("connected", "node", id, "addr", addr)
 		fmt.Printf("connected to %s at %s\n", id, addr)
 	}
 	comm := &core.PeerComm{
@@ -127,7 +276,8 @@ func runRemote(offices, connect string) {
 			return rpcPeers[to].Execute(req)
 		},
 	}
-	fmt.Println(`type SQL, "EXPLAIN <sql>" or "\quit"`)
+	s := &session{metrics: obs.NewMetrics(), attach: func(*obs.Tracer) {}}
+	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics" or "\quit"`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -142,22 +292,38 @@ func runRemote(offices, connect string) {
 		if line == `\quit` || line == `\q` {
 			return
 		}
-		explainOnly := false
-		sql := line
-		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ") {
-			explainOnly = true
-			sql = strings.TrimSpace(line[len("EXPLAIN "):])
+		if s.command(line) {
+			continue
 		}
-		res, err := core.Optimize(core.Config{ID: "qtsql", Schema: sch}, comm, sql)
+		if strings.HasPrefix(line, `\`) {
+			fmt.Printf("unknown command %s\n", line)
+			continue
+		}
+		sql, explainOnly, analyze, tr := s.begin(line)
+		res, err := core.Optimize(core.Config{ID: "qtsql", Schema: sch, Metrics: s.metrics, Tracer: tr}, comm, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
+			s.end(tr)
+			continue
+		}
+		if analyze {
+			st := exec.NewRunStats()
+			if _, err := core.ExecuteResult(comm, &exec.Executor{Stats: st}, res); err != nil {
+				fmt.Printf("execution error: %v\n", err)
+				s.end(tr)
+				continue
+			}
+			fmt.Print(core.ExplainAnalyze(res, st))
+			s.end(tr)
 			continue
 		}
 		fmt.Print(core.ExplainResult(res))
 		if explainOnly {
+			s.end(tr)
 			continue
 		}
 		out, err := core.ExecuteResult(comm, &exec.Executor{}, res)
+		s.end(tr)
 		if err != nil {
 			fmt.Printf("execution error: %v\n", err)
 			continue

@@ -43,8 +43,9 @@ func (g *planGen) partialAggCandidates() []Candidate {
 			}
 		}
 		if covers {
+			node := info.remote()
 			assemblies = append(assemblies, &assembly{
-				node:      info.remote(),
+				node:      node,
 				schema:    info.schema,
 				remoteMax: info.o.Props.TotalTime,
 				remoteSum: info.o.Props.TotalTime,
@@ -95,6 +96,7 @@ func (g *planGen) partialAggCandidates() []Candidate {
 		if len(g.sel.OrderBy) > 0 {
 			local += g.model.Sort(groups)
 		}
+		noteSpine(root, a.node, groups)
 		out = append(out, Candidate{
 			Root:          root,
 			ResponseTime:  a.remoteMax + local,

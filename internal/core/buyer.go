@@ -11,6 +11,7 @@ import (
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
+	"qtrade/internal/obs"
 	"qtrade/internal/plan"
 	"qtrade/internal/sqlparse"
 	"qtrade/internal/trading"
@@ -66,6 +67,14 @@ type Config struct {
 	// time with its private knowledge of the path, so nearby replicas win
 	// over far ones in heterogeneous (WAN) federations.
 	PeerLatency func(sellerID string) float64
+	// Tracer, when set, records one span tree for this optimization:
+	// iterations → negotiation rounds → per-seller RFBs, plus plan
+	// generation and the predicates analyser. Nil (the default) costs
+	// nothing.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives buyer-side counters/histograms under
+	// "buyer.<id>.". Nil costs nothing.
+	Metrics *obs.Metrics
 }
 
 // Stats reports what one optimization cost.
@@ -78,6 +87,13 @@ type Stats struct {
 	QueriesAsked   int
 	Improvements   int
 	WallTime       time.Duration
+
+	// Seller-side telemetry, aggregated from the offers the negotiation saw
+	// (so the F7/F10 experiments can report it without re-instrumenting).
+	OffersPriced      int // DP-priced partial-result offers received
+	ViewOffers        int // offers derived from materialized views
+	PartialAggOffers  int // partial-aggregate (pushdown) offers
+	EmptyBidResponses int // RFB replies carrying no offers: the seller's rewrite produced nothing
 }
 
 // Result is the outcome of a QT optimization: the winning candidate plan and
@@ -89,6 +105,44 @@ type Result struct {
 }
 
 var rfbSeq atomic.Int64
+
+// countingPeer wraps a seller to count replies that carried no offers — the
+// remote rewrite produced nothing the node could bid. The wrapper is built
+// once per optimization, so the per-call overhead is one length check.
+type countingPeer struct {
+	trading.Peer
+	empty *atomic.Int64
+}
+
+func (p countingPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+	offers, err := p.Peer.RequestBids(rfb)
+	if err == nil && len(offers) == 0 {
+		p.empty.Add(1)
+	}
+	return offers, err
+}
+
+// buyerObs bundles the buyer's pre-resolved instruments (all nil-safe).
+type buyerObs struct {
+	optimizations *obs.Counter
+	rfbsSent      *obs.Counter
+	offersRecv    *obs.Counter
+	poolSize      *obs.Gauge
+	optimizeMS    *obs.Histogram
+	plangenMS     *obs.Histogram
+}
+
+func newBuyerObs(m *obs.Metrics, id string) buyerObs {
+	p := "buyer." + id + "."
+	return buyerObs{
+		optimizations: m.Counter(p + "optimizations"),
+		rfbsSent:      m.Counter(p + "rfbs_sent"),
+		offersRecv:    m.Counter(p + "offers_received"),
+		poolSize:      m.Gauge(p + "pool_size"),
+		optimizeMS:    m.Histogram(p + "optimize_ms"),
+		plangenMS:     m.Histogram(p + "plangen_ms"),
+	}
+}
 
 // partsKey canonicalizes an offer's coverage for pool deduplication (the
 // same SQL may be offered with different coverage, e.g. a partial and its
@@ -134,6 +188,15 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	}
 	plan.Qualify(sel, cfg.Schema)
 
+	var bo buyerObs
+	if cfg.Metrics != nil {
+		bo = newBuyerObs(cfg.Metrics, cfg.ID)
+	}
+	bo.optimizations.Inc()
+	root := cfg.Tracer.Start(cfg.ID, "optimize")
+	root.Set("sql", sql)
+	defer root.End()
+
 	stats := Stats{}
 	pool := map[string]trading.Offer{} // seller+sql -> cheapest offer
 	bestPrice := map[string]float64{}  // qid -> best price seen
@@ -147,9 +210,18 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	for id := range cfg.ExcludeSellers {
 		delete(peers, id)
 	}
+	var emptyReplies atomic.Int64
+	for id, p := range peers {
+		peers[id] = countingPeer{Peer: p, empty: &emptyReplies}
+	}
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		stats.Iterations = iter
+		var itSp *obs.Span
+		if root != nil {
+			itSp = root.Child("iteration")
+			itSp.Set("iter", iter)
+		}
 		// B1: strategic value estimates for the queries in Q.
 		for i := range queries {
 			queries[i].EstValue = cfg.Strategy.Estimate(queries[i].QID, bestPrice[queries[i].QID])
@@ -161,19 +233,36 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 			Queries: queries,
 		}
 		stats.RFBsSent += len(peers)
-		offers, rounds, err := cfg.Protocol.Collect(rfb, peers)
+		bo.rfbsSent.Add(int64(len(peers)))
+		negSp := itSp.Child("negotiate")
+		negSp.Set("peers", len(peers))
+		offers, rounds, err := cfg.Protocol.Collect(rfb, peers, negSp)
+		negSp.End()
 		if err != nil {
+			itSp.End()
 			return nil, fmt.Errorf("core: negotiation failed: %w", err)
 		}
 		stats.ProtocolRounds += rounds
 		if cfg.Self != nil {
+			selfSp := itSp.Child("self-bids")
 			own, err := cfg.Self.RequestBids(rfb)
 			if err == nil {
+				selfSp.Set("offers", len(own))
 				offers = append(offers, own...)
 			}
+			selfSp.End()
 		}
 		stats.OffersReceived += len(offers)
+		bo.offersRecv.Add(int64(len(offers)))
 		for _, o := range offers {
+			switch {
+			case o.FromView:
+				stats.ViewOffers++
+			case o.PartialAgg:
+				stats.PartialAggOffers++
+			default:
+				stats.OffersPriced++
+			}
 			key := o.SellerID + "\x00" + o.SQL + "\x00" + partsKey(o)
 			if prev, ok := pool[key]; !ok || o.Price < prev.Price {
 				pool[key] = o
@@ -182,6 +271,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 				bestPrice[o.QID] = o.Price
 			}
 		}
+		bo.poolSize.Set(float64(len(pool)))
 
 		// B4: candidate plan generation from the standing pool, in
 		// deterministic order so equal-cost ties break reproducibly.
@@ -190,8 +280,20 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 			poolList = append(poolList, o)
 		}
 		sort.Slice(poolList, func(i, j int) bool { return poolList[i].OfferID < poolList[j].OfferID })
+		var t0 time.Time
+		if cfg.Metrics != nil {
+			t0 = time.Now()
+		}
+		genSp := itSp.Child("plangen")
+		genSp.Set("mode", string(cfg.Mode))
+		genSp.Set("pool", len(poolList))
 		cands, err := GenerateWithLatency(sel, cfg.Schema, cfg.Cost, cfg.Mode, cfg.IDPKeep, poolList, cfg.PeerLatency)
+		genSp.End()
+		if cfg.Metrics != nil {
+			bo.plangenMS.Observe(float64(time.Since(t0).Microseconds()) / 1000)
+		}
 		if err != nil {
+			itSp.End()
 			if iter == 1 {
 				// The paper: abort when the first iteration yields no
 				// candidate plan at all.
@@ -199,6 +301,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 			}
 			break
 		}
+		genSp.Set("candidates", len(cands))
 		newBest := cands[0]
 		improved := best == nil || ValueOf(cfg.Weight, &newBest) < ValueOf(cfg.Weight, best)*(1-1e-9)
 		if improved {
@@ -215,7 +318,12 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		if len(topK) > 3 {
 			topK = topK[:3]
 		}
+		anSp := itSp.Child("analyse")
 		newSQLs := Analyse(sel, cfg.Schema, topK, asked, cfg.MaxNewQueries)
+		anSp.Set("new_queries", len(newSQLs))
+		anSp.End()
+		itSp.Set("improved", improved)
+		itSp.End()
 		// B7: terminate when neither the plan nor Q changed.
 		if !improved && len(newSQLs) == 0 {
 			break
@@ -234,14 +342,19 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	}
 
 	// B8: award the winning offers.
+	awSp := root.Child("award")
+	awSp.Set("offers", len(best.Offers))
 	for _, o := range best.Offers {
 		if o.SellerID == cfg.ID {
 			continue // own offers need no award message
 		}
 		_ = comm.Award(o.SellerID, trading.Award{RFBID: o.RFBID, OfferID: o.OfferID, BuyerID: cfg.ID})
 	}
+	awSp.End()
 	stats.PoolSize = len(pool)
+	stats.EmptyBidResponses = int(emptyReplies.Load())
 	stats.WallTime = time.Since(start)
+	bo.optimizeMS.Observe(float64(stats.WallTime.Microseconds()) / 1000)
 	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats}, nil
 }
 
@@ -252,6 +365,7 @@ func ExecuteResult(comm Comm, localExec *exec.Executor, res *Result) (*exec.Resu
 	ex := &exec.Executor{}
 	if localExec != nil {
 		ex.Store = localExec.Store
+		ex.Stats = localExec.Stats
 	}
 	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
 		resp, err := comm.Fetch(nodeID, trading.ExecReq{SQL: sql, OfferID: offerID})

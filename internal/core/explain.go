@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/plan"
+)
+
+// ExplainAnalyze renders the winning plan with per-operator actuals next to
+// the plan generator's estimates — the EXPLAIN ANALYZE of the federation.
+// st carries the actuals recorded by an Executor whose Stats field was set
+// during execution; pass nil for an estimates-only rendering (operators then
+// show "not executed", which is also what a purchased-but-pruned branch
+// shows after a partial run).
+func ExplainAnalyze(res *Result, st *exec.RunStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- response time %.2f ms, total work %.2f ms, %d offers purchased\n",
+		res.Candidate.ResponseTime, res.Candidate.TotalWork, len(res.Candidate.Offers))
+	var walk func(n plan.Node, depth int)
+	walk = func(n plan.Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Describe())
+		sb.WriteString("  (")
+		sb.WriteString(estLabel(res, n))
+		if op, ok := st.Get(n); ok {
+			fmt.Fprintf(&sb, " actual rows=%d", op.RowsOut)
+			if len(n.Children()) > 0 {
+				fmt.Fprintf(&sb, " in=%d", op.RowsIn)
+			}
+			fmt.Fprintf(&sb, " time=%.3fms", float64(op.Elapsed.Microseconds())/1000)
+			if op.Calls > 1 {
+				fmt.Fprintf(&sb, " calls=%d", op.Calls)
+			}
+		} else {
+			sb.WriteString(" not executed")
+		}
+		sb.WriteString(")\n")
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(res.Candidate.Root, 0)
+	return sb.String()
+}
+
+// estLabel renders the generator's row estimate for one operator. Remote
+// leaves always know theirs (the seller's offered cardinality); assembled
+// operators carry theirs in the plan.Card annotation.
+func estLabel(res *Result, n plan.Node) string {
+	if rows, ok := plan.EstOf(n); ok {
+		return fmt.Sprintf("est rows=%d", rows)
+	}
+	return "est rows=?"
+}

@@ -544,7 +544,7 @@ func (g *planGen) exactCover(b string, group []*offerInfo) *assembly {
 		offers = append(offers, info.o)
 	}
 	return &assembly{
-		node:      &plan.Union{Inputs: inputs},
+		node:      &plan.Union{Card: plan.Card{Est: win.rows}, Inputs: inputs},
 		schema:    win.used[0].schema,
 		remoteMax: win.max,
 		remoteSum: win.sum,
@@ -627,7 +627,7 @@ func (g *planGen) join(l, r *assembly, preds []expr.Expr) *assembly {
 	}
 	lBind, rBind := g.bindingNames(l), g.bindingNames(r)
 	return &assembly{
-		node:      &plan.Join{L: left, R: right, On: expr.And(preds)},
+		node:      &plan.Join{Card: plan.Card{Est: outRows}, L: left, R: right, On: expr.And(preds)},
 		schema:    append(append([]expr.ColumnID{}, l.schema...), r.schema...),
 		remoteMax: math.Max(l.remoteMax, r.remoteMax),
 		remoteSum: l.remoteSum + r.remoteSum,
@@ -672,7 +672,7 @@ func (g *planGen) finishAssembly(a *assembly) (*Candidate, error) {
 		}
 	}
 	if pred := expr.And(applicable); pred != nil {
-		node = &plan.Filter{Input: node, Pred: pred}
+		node = &plan.Filter{Card: plan.Card{Est: a.rows}, Input: node, Pred: pred}
 	}
 	root, err := plan.FinalizeSelect(g.sel, node)
 	if err != nil {
@@ -688,6 +688,7 @@ func (g *planGen) finishAssembly(a *assembly) (*Candidate, error) {
 	if len(g.sel.OrderBy) > 0 {
 		local += g.model.Sort(rows)
 	}
+	noteSpine(root, node, rows)
 	return &Candidate{
 		Root:          root,
 		ResponseTime:  a.remoteMax + local,
@@ -717,9 +718,12 @@ func (g *planGen) wholePlanCandidates() []Candidate {
 			node = &plan.Sort{Input: node, Keys: keys}
 			local += g.model.Sort(info.o.Props.Rows)
 		}
+		rows := info.o.Props.Rows
 		if g.sel.Limit >= 0 {
 			node = &plan.Limit{Input: node, N: g.sel.Limit}
+			rows = minI(rows, g.sel.Limit)
 		}
+		noteSpine(node, nil, rows)
 		out = append(out, Candidate{
 			Root:         node,
 			ResponseTime: info.o.Props.TotalTime + local,
@@ -729,6 +733,28 @@ func (g *planGen) wholePlanCandidates() []Candidate {
 		})
 	}
 	return out
+}
+
+// noteSpine stamps the final row estimate on the single-input operators
+// wrapped around base (the aggregate/sort/limit/distinct spine built by
+// FinalizeSelect), for EXPLAIN ANALYZE. Walking stops at base or at the
+// first operator with several inputs.
+func noteSpine(root, base plan.Node, rows int64) {
+	for n := root; n != nil && n != base; {
+		plan.SetEst(n, rows)
+		ch := n.Children()
+		if len(ch) != 1 {
+			return
+		}
+		n = ch[0]
+	}
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // sortKeyForOutput maps an ORDER BY expression onto the remote output schema

@@ -55,7 +55,13 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 			return nil, nil, attempt, err
 		}
 		tc := &trackingComm{inner: comm, failed: map[string]bool{}}
+		sp := cfg.Tracer.Start(cfg.ID, "execute")
+		sp.Set("attempt", attempt)
 		out, err := executeWith(tc, localExec, res)
+		if err != nil {
+			sp.Set("error", err)
+		}
+		sp.End()
 		if err == nil {
 			return out, res, attempt, nil
 		}
@@ -77,6 +83,7 @@ func executeWith(comm Comm, localExec *exec.Executor, res *Result) (*exec.Result
 	ex := &exec.Executor{}
 	if localExec != nil {
 		ex.Store = localExec.Store
+		ex.Stats = localExec.Stats
 	}
 	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
 		resp, err := comm.Fetch(nodeID, trading.ExecReq{SQL: sql, OfferID: offerID})

@@ -10,6 +10,8 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"qtrade/internal/expr"
 	"qtrade/internal/plan"
@@ -33,6 +35,67 @@ type FetchFunc func(nodeID, sql, offerID string) (*Result, error)
 type Executor struct {
 	Store *storage.Store
 	Fetch FetchFunc
+	// Stats, when non-nil, receives per-operator actuals (rows in/out,
+	// elapsed, call counts) during Run — the raw material of EXPLAIN
+	// ANALYZE. Nil (the default) keeps execution on the unwrapped fast path.
+	Stats *RunStats
+}
+
+// OpStats are the actuals one plan operator accumulated during execution.
+// Elapsed is inclusive of the operator's children (execution is
+// materialized, so a parent's wall time contains its inputs').
+type OpStats struct {
+	Calls   int
+	RowsIn  int64 // rows consumed from children (0 for leaves)
+	RowsOut int64 // rows produced
+	Elapsed time.Duration
+}
+
+// RunStats collects per-operator actuals for one (or several) executions,
+// keyed by plan-node identity. Safe for concurrent use.
+type RunStats struct {
+	mu  sync.Mutex
+	ops map[plan.Node]*OpStats
+}
+
+// NewRunStats returns an empty collector.
+func NewRunStats() *RunStats { return &RunStats{ops: map[plan.Node]*OpStats{}} }
+
+// Get returns the recorded actuals of one operator.
+func (s *RunStats) Get(n plan.Node) (OpStats, bool) {
+	if s == nil {
+		return OpStats{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op, ok := s.ops[n]
+	if !ok {
+		return OpStats{}, false
+	}
+	return *op, true
+}
+
+func (s *RunStats) record(n plan.Node, rowsIn, rowsOut int64, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := s.ops[n]
+	if op == nil {
+		op = &OpStats{}
+		s.ops[n] = op
+	}
+	op.Calls++
+	op.RowsIn += rowsIn
+	op.RowsOut += rowsOut
+	op.Elapsed += d
+}
+
+func (s *RunStats) rowsOut(n plan.Node) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if op := s.ops[n]; op != nil {
+		return op.RowsOut
+	}
+	return 0
 }
 
 // Run executes the plan and returns its materialized result.
@@ -42,6 +105,26 @@ func (ex *Executor) Run(n plan.Node) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Cols: n.Schema(), Rows: rows}, nil
+}
+
+// run dispatches to runNode, recording actuals when Stats is attached. The
+// rows-in of an operator is the sum of its children's rows-out, which are
+// already recorded by the time the operator itself returns.
+func (ex *Executor) run(n plan.Node) ([]value.Row, error) {
+	if ex.Stats == nil {
+		return ex.runNode(n)
+	}
+	t0 := time.Now()
+	rows, err := ex.runNode(n)
+	if err != nil {
+		return nil, err
+	}
+	var in int64
+	for _, c := range n.Children() {
+		in += ex.Stats.rowsOut(c)
+	}
+	ex.Stats.record(n, in, int64(len(rows)), time.Since(t0))
+	return rows, nil
 }
 
 // bindClone clones an expression and binds it against a schema.
@@ -56,7 +139,7 @@ func bindClone(e expr.Expr, schema []expr.ColumnID) (expr.Expr, error) {
 	return c, nil
 }
 
-func (ex *Executor) run(n plan.Node) ([]value.Row, error) {
+func (ex *Executor) runNode(n plan.Node) ([]value.Row, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return ex.runScan(t)

@@ -19,6 +19,7 @@ import (
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
 	"qtrade/internal/node"
+	"qtrade/internal/obs"
 	"qtrade/internal/plan"
 	"qtrade/internal/storage"
 	"qtrade/internal/trading"
@@ -81,10 +82,33 @@ func chainFed(opts workload.ChainOptions) (*workload.Federation, workload.ChainO
 	return workload.NewChain(opts), opts
 }
 
+// obsTracer/obsMetrics, when set via SetObs, are injected into every
+// optimization the drivers run — buyer config and seller nodes alike — so
+// cmd/qtbench can export a trace or metrics snapshot of an experiment run.
+var (
+	obsTracer  *obs.Tracer
+	obsMetrics *obs.Metrics
+)
+
+// SetObs registers a tracer and metrics registry for all subsequent
+// experiment optimizations; nil, nil detaches.
+func SetObs(tr *obs.Tracer, m *obs.Metrics) { obsTracer, obsMetrics = tr, m }
+
+// instrument injects the registered observability into one optimization.
+func instrument(f *workload.Federation, cfg *core.Config) {
+	if obsTracer == nil && obsMetrics == nil {
+		return
+	}
+	cfg.Tracer = obsTracer
+	cfg.Metrics = obsMetrics
+	f.SetObs(obsTracer, obsMetrics)
+}
+
 // optimizeQT runs one QT optimization and returns the result plus the
 // network message/byte counters it consumed.
 func optimizeQT(f *workload.Federation, cfg core.Config, q string) (*core.Result, int64, int64, error) {
 	f.Net.Reset()
+	instrument(f, &cfg)
 	res, err := f.Optimize(cfg, q)
 	if err != nil {
 		return nil, 0, 0, err
@@ -295,6 +319,7 @@ func F3Convergence(joins, nodes int, seed int64) *Table {
 	cfg.OnIteration = func(iter int, best float64, pool int) {
 		t.Rows = append(t.Rows, []string{d(int64(iter)), f2(best), d(int64(pool))})
 	}
+	instrument(f, &cfg)
 	if _, err := f.Optimize(cfg, q); err != nil {
 		t.Rows = append(t.Rows, []string{"error", err.Error(), ""})
 	}
@@ -377,7 +402,9 @@ func F6Strategies(rounds int, seed int64) *Table {
 		step = 1
 	}
 	for r := 1; r <= rounds; r++ {
-		res, err := f.Optimize(f.BuyerConfig(), q)
+		cfg := f.BuyerConfig()
+		instrument(f, &cfg)
+		res, err := f.Optimize(cfg, q)
 		if err != nil {
 			break
 		}
@@ -404,7 +431,7 @@ func F7Views(seed int64) *Table {
 	t := &Table{
 		ID:     "F7",
 		Title:  "materialized-view offers (seller predicates analyser)",
-		Header: []string{"views", "plan_value_ms", "purchases"},
+		Header: []string{"views", "plan_value_ms", "purchases", "view_offers", "priced_offers", "empty_replies"},
 	}
 	q := `SELECT c.office, SUM(i.charge) AS total FROM customer c, invoiceline i
 	      WHERE c.custid = i.custid GROUP BY c.office`
@@ -432,7 +459,9 @@ func F7Views(seed int64) *Table {
 			label = "enabled"
 		}
 		t.Rows = append(t.Rows, []string{
-			label, f2(res.Candidate.ResponseTime), d(int64(len(res.Candidate.Offers)))})
+			label, f2(res.Candidate.ResponseTime), d(int64(len(res.Candidate.Offers))),
+			d(int64(res.Stats.ViewOffers)), d(int64(res.Stats.OffersPriced)),
+			d(int64(res.Stats.EmptyBidResponses))})
 	}
 	return t
 }
@@ -503,7 +532,7 @@ func F10Subcontract(seed int64) *Table {
 	t := &Table{
 		ID:     "F10",
 		Title:  "subcontracting under restricted visibility (extension)",
-		Header: []string{"subcontracting", "outcome", "plan_value_ms", "purchases"},
+		Header: []string{"subcontracting", "outcome", "plan_value_ms", "purchases", "priced_offers", "empty_replies"},
 	}
 	q := "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')"
 	for _, enabled := range []bool{false, true} {
@@ -533,11 +562,12 @@ func F10Subcontract(seed int64) *Table {
 		}
 		res, err := core.Optimize(core.Config{ID: "hq", Schema: f.Schema}, comm, q)
 		if err != nil {
-			t.Rows = append(t.Rows, []string{label, "unanswerable", "-", "-"})
+			t.Rows = append(t.Rows, []string{label, "unanswerable", "-", "-", "-", "-"})
 			continue
 		}
 		t.Rows = append(t.Rows, []string{label, "answered",
-			f2(res.Candidate.ResponseTime), d(int64(len(res.Candidate.Offers)))})
+			f2(res.Candidate.ResponseTime), d(int64(len(res.Candidate.Offers))),
+			d(int64(res.Stats.OffersPriced)), d(int64(res.Stats.EmptyBidResponses))})
 	}
 	return t
 }
@@ -629,39 +659,61 @@ func addViewToNode(f *workload.Federation, nodeID, name, sql string, truth tradi
 }
 
 // Quick returns every experiment at CI-friendly scale.
-func Quick(seed int64) []*Table {
-	return []*Table{
-		T1PlanQuality(4, 6, seed),
-		T2StarPlanQuality(3, 5, seed),
-		F1OptTimeVsNodes([]int{4, 8, 16}, 3, seed),
-		F2MessagesVsNodes([]int{4, 8, 16}, 3, seed),
-		F3Convergence(4, 8, seed),
-		F4Partitions([]int{1, 2, 4}, seed),
-		F5PlanGen(4, 6, seed),
-		F6Strategies(10, seed),
-		F7Views(seed),
-		F8Protocols(seed),
-		F9Replication([]int{1, 2}, seed),
-		F10Subcontract(seed),
-		F11AggPushdown(seed),
+func Quick(seed int64) []*Table { return runSpecs(QuickSpecs(seed)) }
+
+// Full returns every experiment at paper scale (minutes of runtime).
+func Full(seed int64) []*Table { return runSpecs(FullSpecs(seed)) }
+
+// Spec is one runnable experiment: its table id plus a thunk that builds the
+// federation and produces the table. Drivers only run when Run is called, so
+// callers can filter by ID without paying for (or tracing) the rest.
+type Spec struct {
+	ID  string
+	Run func() *Table
+}
+
+// QuickSpecs returns every experiment at quick scale, lazily.
+func QuickSpecs(seed int64) []Spec {
+	return []Spec{
+		{"T1", func() *Table { return T1PlanQuality(4, 6, seed) }},
+		{"T2", func() *Table { return T2StarPlanQuality(3, 5, seed) }},
+		{"F1", func() *Table { return F1OptTimeVsNodes([]int{4, 8, 16}, 3, seed) }},
+		{"F2", func() *Table { return F2MessagesVsNodes([]int{4, 8, 16}, 3, seed) }},
+		{"F3", func() *Table { return F3Convergence(4, 8, seed) }},
+		{"F4", func() *Table { return F4Partitions([]int{1, 2, 4}, seed) }},
+		{"F5", func() *Table { return F5PlanGen(4, 6, seed) }},
+		{"F6", func() *Table { return F6Strategies(10, seed) }},
+		{"F7", func() *Table { return F7Views(seed) }},
+		{"F8", func() *Table { return F8Protocols(seed) }},
+		{"F9", func() *Table { return F9Replication([]int{1, 2}, seed) }},
+		{"F10", func() *Table { return F10Subcontract(seed) }},
+		{"F11", func() *Table { return F11AggPushdown(seed) }},
 	}
 }
 
-// Full returns every experiment at paper scale (minutes of runtime).
-func Full(seed int64) []*Table {
-	return []*Table{
-		T1PlanQuality(7, 12, seed),
-		T2StarPlanQuality(5, 8, seed),
-		F1OptTimeVsNodes([]int{10, 20, 40, 80, 160, 320, 640}, 4, seed),
-		F2MessagesVsNodes([]int{10, 20, 40, 80, 160, 320, 640}, 4, seed),
-		F3Convergence(6, 16, seed),
-		F4Partitions([]int{1, 2, 4, 8, 16}, seed),
-		F5PlanGen(8, 10, seed),
-		F6Strategies(50, seed),
-		F7Views(seed),
-		F8Protocols(seed),
-		F9Replication([]int{1, 2, 3, 4}, seed),
-		F10Subcontract(seed),
-		F11AggPushdown(seed),
+// FullSpecs returns every experiment at paper scale, lazily.
+func FullSpecs(seed int64) []Spec {
+	return []Spec{
+		{"T1", func() *Table { return T1PlanQuality(7, 12, seed) }},
+		{"T2", func() *Table { return T2StarPlanQuality(5, 8, seed) }},
+		{"F1", func() *Table { return F1OptTimeVsNodes([]int{10, 20, 40, 80, 160, 320, 640}, 4, seed) }},
+		{"F2", func() *Table { return F2MessagesVsNodes([]int{10, 20, 40, 80, 160, 320, 640}, 4, seed) }},
+		{"F3", func() *Table { return F3Convergence(6, 16, seed) }},
+		{"F4", func() *Table { return F4Partitions([]int{1, 2, 4, 8, 16}, seed) }},
+		{"F5", func() *Table { return F5PlanGen(8, 10, seed) }},
+		{"F6", func() *Table { return F6Strategies(50, seed) }},
+		{"F7", func() *Table { return F7Views(seed) }},
+		{"F8", func() *Table { return F8Protocols(seed) }},
+		{"F9", func() *Table { return F9Replication([]int{1, 2, 3, 4}, seed) }},
+		{"F10", func() *Table { return F10Subcontract(seed) }},
+		{"F11", func() *Table { return F11AggPushdown(seed) }},
 	}
+}
+
+func runSpecs(specs []Spec) []*Table {
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.Run()
+	}
+	return out
 }

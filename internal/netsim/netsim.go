@@ -38,11 +38,31 @@ type Network struct {
 	messages  atomic.Int64
 	bytes     atomic.Int64
 	simTimeMS uint64 // float64 bits, updated via CAS
+
+	pairMu sync.Mutex
+	pairs  map[Pair]*pairCounters
+}
+
+// Pair identifies one directed sender→receiver link.
+type Pair struct {
+	From string
+	To   string
+}
+
+// PairStats is the traffic recorded on one directed link.
+type PairStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+type pairCounters struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
 }
 
 // New returns an empty network with 1 ms simulated latency.
 func New() *Network {
-	return &Network{LatencyMS: 1, nodes: map[string]Service{}, down: map[string]bool{}}
+	return &Network{LatencyMS: 1, nodes: map[string]Service{}, down: map[string]bool{}, pairs: map[Pair]*pairCounters{}}
 }
 
 // Register attaches a node's service under its id, replacing any previous
@@ -77,16 +97,38 @@ func (n *Network) Stats() (messages, bytes int64) {
 	return n.messages.Load(), n.bytes.Load()
 }
 
+// StatsByPair returns the per-directed-link traffic breakdown since the last
+// Reset: one entry per sender→receiver pair that exchanged at least one
+// message. Requests are charged to from→to and responses to to→from, so the
+// asymmetry of the trading protocol (small RFBs out, large offer lists back)
+// is visible per link.
+func (n *Network) StatsByPair() map[Pair]PairStats {
+	n.pairMu.Lock()
+	defer n.pairMu.Unlock()
+	out := make(map[Pair]PairStats, len(n.pairs))
+	for p, c := range n.pairs {
+		out[p] = PairStats{Messages: c.messages.Load(), Bytes: c.bytes.Load()}
+	}
+	return out
+}
+
 // SimTimeMS returns the accumulated simulated network time.
 func (n *Network) SimTimeMS() float64 {
 	return atomicLoadFloat(&n.simTimeMS)
 }
 
-// Reset zeroes the counters.
+// Reset zeroes all counters: the two global totals, the simulated network
+// time, and every per-pair breakdown. Experiments call it between runs so
+// each measurement starts from a clean ledger; it is safe to call
+// concurrently with traffic, though messages in flight during the reset may
+// land on either side of it.
 func (n *Network) Reset() {
 	n.messages.Store(0)
 	n.bytes.Store(0)
 	atomicStoreFloat(&n.simTimeMS, 0)
+	n.pairMu.Lock()
+	n.pairs = map[Pair]*pairCounters{}
+	n.pairMu.Unlock()
 }
 
 func (n *Network) lookup(to string) (Service, error) {
@@ -102,11 +144,26 @@ func (n *Network) lookup(to string) (Service, error) {
 	return svc, nil
 }
 
-// account records one request/response exchange.
-func (n *Network) account(reqBytes, respBytes int) {
+// account records one request/response exchange: the request on the
+// from→to link, the response on to→from.
+func (n *Network) account(from, to string, reqBytes, respBytes int) {
 	n.messages.Add(2)
 	n.bytes.Add(int64(reqBytes + respBytes))
 	atomicAddFloat(&n.simTimeMS, 2*n.LatencyMS)
+	n.pairAccount(Pair{From: from, To: to}, reqBytes)
+	n.pairAccount(Pair{From: to, To: from}, respBytes)
+}
+
+func (n *Network) pairAccount(p Pair, bytes int) {
+	n.pairMu.Lock()
+	c := n.pairs[p]
+	if c == nil {
+		c = &pairCounters{}
+		n.pairs[p] = c
+	}
+	n.pairMu.Unlock()
+	c.messages.Add(1)
+	c.bytes.Add(int64(bytes))
 }
 
 // Peer returns a counting Peer from one node to another.
@@ -135,7 +192,7 @@ func (n *Network) Execute(from, to string, req trading.ExecReq) (trading.ExecRes
 	if err != nil {
 		return trading.ExecResp{}, err
 	}
-	n.account(req.WireSize(), resp.WireSize())
+	n.account(from, to, req.WireSize(), resp.WireSize())
 	return resp, nil
 }
 
@@ -148,7 +205,7 @@ func (n *Network) Award(from, to string, aw trading.Award) error {
 	if err := svc.Award(aw); err != nil {
 		return err
 	}
-	n.account(aw.WireSize(), 8)
+	n.account(from, to, aw.WireSize(), 8)
 	return nil
 }
 
@@ -172,7 +229,7 @@ func (p *simPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 	for i := range offers {
 		respBytes += offers[i].WireSize()
 	}
-	p.net.account(rfb.WireSize(), respBytes)
+	p.net.account(p.from, p.to, rfb.WireSize(), respBytes)
 	return offers, nil
 }
 
@@ -196,7 +253,7 @@ func (p *simPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
 	for i := range offers {
 		respBytes += offers[i].WireSize()
 	}
-	p.net.account(req.WireSize(), respBytes)
+	p.net.account(p.from, p.to, req.WireSize(), respBytes)
 	return offers, nil
 }
 

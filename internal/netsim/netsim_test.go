@@ -189,3 +189,36 @@ func TestRPCLoopback(t *testing.T) {
 		t.Fatal("rpc error must propagate")
 	}
 }
+
+func TestStatsByPairBreakdown(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.Register("b", &echoService{id: "b"})
+	if _, err := n.Peer("buyer", "a").RequestBids(rfb()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Peer("buyer", "b").RequestBids(rfb()); err != nil {
+		t.Fatal(err)
+	}
+	by := n.StatsByPair()
+	// The request travels buyer->a, its response a->buyer.
+	if st := by[Pair{From: "buyer", To: "a"}]; st.Messages != 1 || st.Bytes <= 0 {
+		t.Fatalf("buyer->a: %+v", st)
+	}
+	if st := by[Pair{From: "a", To: "buyer"}]; st.Messages != 1 || st.Bytes <= 0 {
+		t.Fatalf("a->buyer: %+v", st)
+	}
+	// The breakdown must sum to the aggregate counters.
+	var msgs, bytes int64
+	for _, st := range by {
+		msgs += st.Messages
+		bytes += st.Bytes
+	}
+	if am, ab := n.Stats(); msgs != am || bytes != ab {
+		t.Fatalf("pair sums %d/%d != aggregate %d/%d", msgs, bytes, am, ab)
+	}
+	n.Reset()
+	if len(n.StatsByPair()) != 0 {
+		t.Fatal("Reset must clear the pair breakdown")
+	}
+}

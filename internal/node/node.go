@@ -17,12 +17,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qtrade/internal/catalog"
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
 	"qtrade/internal/localopt"
+	"qtrade/internal/obs"
 	"qtrade/internal/plan"
 	"qtrade/internal/rewrite"
 	"qtrade/internal/sqlparse"
@@ -56,6 +58,11 @@ type Config struct {
 	// execution time when the peers do not expose an Execute method
 	// themselves (e.g. pure trading.Peer implementations).
 	SubcontractFetch func(peerID string, req trading.ExecReq) (trading.ExecResp, error)
+	// Tracer and Metrics attach observability at construction time; both may
+	// stay nil (the default) for zero-overhead operation, and either can be
+	// swapped later with Node.SetObs.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 type standingOffer struct {
@@ -74,6 +81,7 @@ type Node struct {
 	subcontracts map[string]*subcontract              // offerID -> assembly
 	offerSeq     atomic.Int64
 	active       atomic.Int64 // executions in flight, for load-aware pricing
+	obsv         atomic.Pointer[nodeObs]
 }
 
 // maxStandingRFBs bounds the per-node negotiation state: a long-lived seller
@@ -95,12 +103,14 @@ func New(cfg Config) *Node {
 	if cfg.MaxOffersPerQuery <= 0 {
 		cfg.MaxOffersPerQuery = 24
 	}
-	return &Node{
+	n := &Node{
 		cfg:          cfg,
 		store:        storage.NewStore(),
 		standing:     map[string]map[string]*standingOffer{},
 		subcontracts: map[string]*subcontract{},
 	}
+	n.SetObs(cfg.Tracer, cfg.Metrics)
+	return n
 }
 
 // ID returns the node id.
@@ -126,10 +136,25 @@ func (n *Node) Load() float64 { return float64(n.active.Load()) }
 // every optimal partial result, add view-based offers, and price everything
 // through the strategy module.
 func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+	ob := n.obsv.Load()
+	var sp *obs.Span
+	if ob != nil {
+		ob.rfbs.Inc()
+		sp = ob.tracer.Start(n.cfg.ID, "request-bids")
+		sp.Set("rfb", rfb.RFBID)
+		sp.Set("queries", len(rfb.Queries))
+		defer sp.End()
+	}
 	var out []trading.Offer
 	for _, qr := range rfb.Queries {
-		offers := n.offersFor(rfb, qr)
+		offers := n.offersFor(rfb, qr, sp, ob)
+		if ob != nil && len(offers) == 0 {
+			ob.rewritesEmpty.Inc()
+		}
 		out = append(out, offers...)
+	}
+	if ob != nil {
+		sp.Set("offers", len(out))
 	}
 	n.mu.Lock()
 	m := n.standing[rfb.RFBID]
@@ -153,20 +178,42 @@ func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 	return out, nil
 }
 
-func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest) []trading.Offer {
+// offersFor prices one requested query. sp is the node's request-bids span
+// and ob its loaded observer; both are nil when observability is off.
+func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span, ob *nodeObs) []trading.Offer {
 	sel, err := sqlparse.ParseSelect(qr.SQL)
 	if err != nil {
 		return nil
 	}
 	plan.Qualify(sel, n.cfg.Schema)
+	var t0 time.Time
+	if ob != nil {
+		t0 = time.Now()
+	}
+	rwSp := sp.Child("rewrite")
 	rw, err := rewrite.ForSeller(sel, n.cfg.Schema, n.store)
+	rwSp.End()
+	if ob != nil {
+		ob.rewriteMS.Observe(msSince(t0))
+	}
 	if err != nil {
+		rwSp.Set("error", err)
 		return nil
 	}
+	if ob != nil {
+		t0 = time.Now()
+	}
+	dpSp := sp.Child("dp-pricing")
 	res, err := localopt.Optimize(rw.Sel, n.cfg.Schema, n.store, n.cfg.Cost)
+	dpSp.End()
+	if ob != nil {
+		ob.dpMS.Observe(msSince(t0))
+	}
 	if err != nil {
+		dpSp.Set("error", err)
 		return nil
 	}
+	dpSp.Set("partials", len(res.Partials))
 	origHasAgg := sel.HasAggregates() || len(sel.GroupBy) > 0
 	fullBindings := len(sel.From)
 	var cands []trading.Offer
@@ -177,14 +224,30 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest) []trading.Off
 		}
 		cands = append(cands, o)
 	}
+	if ob != nil {
+		ob.offersPriced.Add(int64(len(cands)))
+	}
 	if !n.cfg.DisableViews {
-		cands = append(cands, n.viewOffers(rfb, qr, sel)...)
+		vo := n.viewOffers(rfb, qr, sel)
+		if ob != nil {
+			ob.offersView.Add(int64(len(vo)))
+		}
+		cands = append(cands, vo...)
 	}
 	if n.cfg.SubcontractPeers != nil && rfb.Depth == 0 {
-		cands = append(cands, n.subcontractOffers(rfb, qr, sel, rw, res.Partials)...)
+		scSp := sp.Child("subcontract")
+		so := n.subcontractOffers(rfb, qr, sel, rw, res.Partials, scSp)
+		scSp.End()
+		if ob != nil {
+			ob.offersSubcontract.Add(int64(len(so)))
+		}
+		cands = append(cands, so...)
 	}
 	if origHasAgg && rw.Stripped && len(rw.Dropped) == 0 && !n.cfg.DisableAggPush {
 		if o, ok := n.partialAggOffer(rfb, qr, sel, rw, res); ok {
+			if ob != nil {
+				ob.offersPartialAgg.Inc()
+			}
 			cands = append(cands, o)
 		}
 	}
@@ -419,6 +482,9 @@ func (n *Node) Award(aw trading.Award) error {
 	if !ok {
 		return fmt.Errorf("node %s: unknown offer %q", n.cfg.ID, aw.OfferID)
 	}
+	if ob := n.obsv.Load(); ob != nil {
+		ob.offersWon.Inc()
+	}
 	n.cfg.Strategy.Observe(winner.offer.QID, true)
 	for id, so := range m {
 		if id != aw.OfferID && so.offer.QID == winner.offer.QID {
@@ -448,6 +514,16 @@ func (n *Node) EndNegotiation(rfbID string, wonOfferIDs map[string]bool) {
 func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	n.active.Add(1)
 	defer n.active.Add(-1)
+	if ob := n.obsv.Load(); ob != nil {
+		ob.execs.Inc()
+		t0 := time.Now()
+		sp := ob.tracer.Start(n.cfg.ID, "execute")
+		sp.Set("sql", req.SQL)
+		defer func() {
+			ob.execMS.Observe(msSince(t0))
+			sp.End()
+		}()
+	}
 	if req.OfferID != "" {
 		n.mu.Lock()
 		sc := n.subcontracts[req.OfferID]

@@ -10,6 +10,7 @@ import (
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
 	"qtrade/internal/localopt"
+	"qtrade/internal/obs"
 	"qtrade/internal/rewrite"
 	"qtrade/internal/sqlparse"
 	"qtrade/internal/trading"
@@ -35,7 +36,8 @@ type subRemote struct {
 // the missing partitions (a nested, depth-limited negotiation) and — when
 // the gap can be covered — offers the *complete* relation extent, priced as
 // its own cost plus the purchased offers.
-func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, partials []*localopt.Partial) []trading.Offer {
+// sp is the parent span for the nested negotiation (nil when tracing is off).
+func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, partials []*localopt.Partial, sp *obs.Span) []trading.Offer {
 	peers := n.cfg.SubcontractPeers()
 	if len(peers) == 0 {
 		return nil
@@ -63,7 +65,7 @@ func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *
 		if own == nil {
 			continue
 		}
-		offer, ok := n.buildComposite(rfb, qr, sel, tr, own, held, missing, relevant, peers)
+		offer, ok := n.buildComposite(rfb, qr, sel, tr, own, held, missing, relevant, peers, sp)
 		if ok {
 			out = append(out, offer)
 		}
@@ -75,7 +77,7 @@ func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *
 // composite offer.
 func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select,
 	tr sqlparse.TableRef, own *localopt.Partial, held, missing, relevant []string,
-	peers map[string]trading.Peer) (trading.Offer, bool) {
+	peers map[string]trading.Peer, sp *obs.Span) (trading.Offer, bool) {
 
 	base := localopt.SubqueryFor(sel, []string{tr.Binding()})
 	subRFB := trading.RFB{
@@ -96,7 +98,7 @@ func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sql
 			SQL: q.SQL(),
 		})
 	}
-	offers, _, err := trading.SealedBid{}.Collect(subRFB, peers)
+	offers, _, err := trading.SealedBid{}.Collect(subRFB, peers, sp)
 	if err != nil {
 		return trading.Offer{}, false
 	}

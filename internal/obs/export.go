@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// jsonlSpan is the flat JSONL record: one line per span, parents before
+// children, with Path giving the slash-joined ancestry so trees can be
+// rebuilt offline.
+type jsonlSpan struct {
+	Trace   int               `json:"trace"`
+	Path    string            `json:"path"`
+	Name    string            `json:"name"`
+	Source  string            `json:"source,omitempty"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes every recorded span as one JSON object per line. Spans
+// appear in depth-first order, each carrying its root index ("trace") and
+// full path, so the stream is both grep-able and machine-rebuildable.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, root := range t.Roots() {
+		if err := writeJSONLSpan(enc, t.epoch, i, "", root); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeJSONLSpan(enc *json.Encoder, epoch time.Time, trace int, parentPath string, s *Span) error {
+	path := s.Name()
+	if parentPath != "" {
+		path = parentPath + "/" + path
+	}
+	rec := jsonlSpan{
+		Trace:   trace,
+		Path:    path,
+		Name:    s.Name(),
+		Source:  s.Source(),
+		StartUS: s.start.Sub(epoch).Microseconds(),
+		DurUS:   s.Duration().Microseconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Val
+		}
+	}
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := writeJSONLSpan(enc, epoch, trace, path, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" = complete
+// event with explicit duration, "M" = metadata). Timestamps and durations
+// are in microseconds. See
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	TS   int64             `json:"ts,omitempty"`
+	Dur  int64             `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Each distinct
+// span source (node id) becomes its own track (tid), named via thread_name
+// metadata, so buyer and seller activity line up on a shared timeline.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	tids := map[string]int{}
+	tidOf := func(source string) int {
+		if id, ok := tids[source]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[source] = id
+		return id
+	}
+	var events []chromeEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		ev := chromeEvent{
+			Name: s.Name(),
+			Ph:   "X",
+			PID:  1,
+			TID:  tidOf(s.Source()),
+			TS:   s.start.Sub(t.epoch).Microseconds(),
+			Dur:  s.Duration().Microseconds(),
+		}
+		if ev.Dur <= 0 {
+			ev.Dur = 1 // zero-length events are dropped by some viewers
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			ev.Args = make(map[string]string, len(attrs))
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		events = append(events, ev)
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, root := range t.Roots() {
+		walk(root)
+	}
+	// Name the tracks after their sources (metadata events carry no ts).
+	for source, tid := range tids {
+		name := source
+		if name == "" {
+			name = "(unattributed)"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// RenderText renders the span forest as an indented tree with durations and
+// attributes — the human-readable counterpart of the JSON exports.
+func (t *Tracer) RenderText() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, root := range t.Roots() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		renderSpan(&b, root, 0)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s", s.Name())
+	if src := s.Source(); src != "" {
+		fmt.Fprintf(b, " @%s", src)
+	}
+	fmt.Fprintf(b, " (%.3fms)", float64(s.Duration().Microseconds())/1000)
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children() {
+		renderSpan(b, c, depth+1)
+	}
+}

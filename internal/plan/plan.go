@@ -25,8 +25,42 @@ type Node interface {
 	Describe() string
 }
 
+// Card is an optional estimated-cardinality annotation embedded in the
+// operator structs. The buyer plan generator stamps it on operators as it
+// assembles candidates (a plain field store, so the DP hot path pays no
+// side-table cost) and EXPLAIN ANALYZE reads it back to print estimates
+// next to actuals. Zero means "not annotated".
+type Card struct {
+	// Est is the estimated number of output rows (0 = unknown).
+	Est int64
+}
+
+func (c *Card) card() *Card { return c }
+
+type carded interface{ card() *Card }
+
+// SetEst stamps the row estimate on n when its operator type carries a Card.
+func SetEst(n Node, rows int64) {
+	if c, ok := n.(carded); ok {
+		c.card().Est = rows
+	}
+}
+
+// EstOf reads n's row estimate; ok is false when n is un-annotated. Remote
+// nodes always know theirs (the seller's offered cardinality).
+func EstOf(n Node) (rows int64, ok bool) {
+	if r, isRemote := n.(*Remote); isRemote {
+		return r.EstRows, true
+	}
+	if c, isCarded := n.(carded); isCarded && c.card().Est != 0 {
+		return c.card().Est, true
+	}
+	return 0, false
+}
+
 // Scan reads one fragment of a table, exposing columns under Alias.
 type Scan struct {
+	Card
 	Def    *catalog.TableDef
 	Alias  string
 	PartID string
@@ -50,6 +84,7 @@ func (s *Scan) Describe() string {
 
 // Filter drops rows not satisfying Pred.
 type Filter struct {
+	Card
 	Input Node
 	Pred  expr.Expr
 }
@@ -61,6 +96,7 @@ func (f *Filter) Describe() string        { return "Filter " + f.Pred.String() }
 // Project computes output expressions. Names supplies the exposed column
 // identities (same length as Exprs).
 type Project struct {
+	Card
 	Input Node
 	Exprs []expr.Expr
 	Names []expr.ColumnID
@@ -80,6 +116,7 @@ func (p *Project) Describe() string {
 // equality between one left and one right column the executor uses a hash
 // join, otherwise nested loops. A nil On is a cross product.
 type Join struct {
+	Card
 	L, R Node
 	On   expr.Expr
 }
@@ -105,6 +142,7 @@ type AggItem struct {
 // Output schema is [group columns..., aggregate columns...]. GroupNames
 // supplies identities for the group columns.
 type Aggregate struct {
+	Card
 	Input      Node
 	GroupBy    []expr.Expr
 	GroupNames []expr.ColumnID
@@ -139,6 +177,7 @@ type SortKey struct {
 
 // Sort orders rows by Keys.
 type Sort struct {
+	Card
 	Input Node
 	Keys  []SortKey
 }
@@ -158,6 +197,7 @@ func (s *Sort) Describe() string {
 
 // Limit passes at most N rows.
 type Limit struct {
+	Card
 	Input Node
 	N     int64
 }
@@ -168,6 +208,7 @@ func (l *Limit) Describe() string        { return fmt.Sprintf("Limit %d", l.N) }
 
 // Distinct removes duplicate rows.
 type Distinct struct {
+	Card
 	Input Node
 }
 
@@ -179,6 +220,7 @@ func (d *Distinct) Describe() string        { return "Distinct" }
 // When All is false a Distinct must be applied by the builder; Union itself
 // always behaves as UNION ALL.
 type Union struct {
+	Card
 	Inputs []Node
 }
 
@@ -213,6 +255,7 @@ func (r *Remote) Describe() string {
 
 // ViewScan reads a locally stored materialized view.
 type ViewScan struct {
+	Card
 	Name string
 	Cols []expr.ColumnID
 	Pred expr.Expr

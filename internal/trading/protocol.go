@@ -3,6 +3,8 @@ package trading
 import (
 	"sort"
 	"sync"
+
+	"qtrade/internal/obs"
 )
 
 // Peer is the buyer's handle to one seller node. Implementations count
@@ -16,15 +18,17 @@ type Peer interface {
 // Protocol is a negotiation protocol: it runs the message exchange of one
 // nested negotiation (steps B2/B3/S3) and returns the standing offers. The
 // returned round count feeds the experiments' network-time accounting.
+// sp is the parent span for this negotiation (nil when tracing is off);
+// protocols hang one child per round and one grandchild per seller off it.
 type Protocol interface {
 	Name() string
-	Collect(rfb RFB, peers map[string]Peer) (offers []Offer, rounds int, err error)
+	Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) (offers []Offer, rounds int, err error)
 }
 
 // fanOut sends the RFB to every peer concurrently and merges the replies.
 // Failing peers are skipped: autonomy means remote nodes may decline or die,
 // and the negotiation must survive that.
-func fanOut(rfb RFB, peers map[string]Peer) []Offer {
+func fanOut(rfb RFB, peers map[string]Peer, round *obs.Span) []Offer {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var all []Offer
@@ -32,10 +36,18 @@ func fanOut(rfb RFB, peers map[string]Peer) []Offer {
 		wg.Add(1)
 		go func(id string, p Peer) {
 			defer wg.Done()
+			var ss *obs.Span
+			if round != nil {
+				ss = round.Child("rfb " + id)
+			}
 			offers, err := p.RequestBids(rfb)
 			if err != nil {
+				ss.Set("error", err)
+				ss.End()
 				return
 			}
+			ss.Set("offers", len(offers))
+			ss.End()
 			mu.Lock()
 			all = append(all, offers...)
 			mu.Unlock()
@@ -46,7 +58,7 @@ func fanOut(rfb RFB, peers map[string]Peer) []Offer {
 	return all
 }
 
-func improveRound(req ImproveReq, peers map[string]Peer) []Offer {
+func improveRound(req ImproveReq, peers map[string]Peer, round *obs.Span) []Offer {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var all []Offer
@@ -54,10 +66,18 @@ func improveRound(req ImproveReq, peers map[string]Peer) []Offer {
 		wg.Add(1)
 		go func(id string, p Peer) {
 			defer wg.Done()
+			var ss *obs.Span
+			if round != nil {
+				ss = round.Child("improve " + id)
+			}
 			offers, err := p.ImproveBids(req)
 			if err != nil {
+				ss.Set("error", err)
+				ss.End()
 				return
 			}
+			ss.Set("offers", len(offers))
+			ss.End()
 			mu.Lock()
 			all = append(all, offers...)
 			mu.Unlock()
@@ -66,6 +86,17 @@ func improveRound(req ImproveReq, peers map[string]Peer) []Offer {
 	wg.Wait()
 	sortOffers(all)
 	return all
+}
+
+// roundSpan opens the span for one protocol round; a no-op when sp is nil.
+// The explicit nil guard keeps the disabled path free of the fmt allocation.
+func roundSpan(sp *obs.Span, n int) *obs.Span {
+	if sp == nil {
+		return nil
+	}
+	r := sp.Child("round")
+	r.Set("round", n)
+	return r
 }
 
 func sortOffers(offers []Offer) {
@@ -122,8 +153,11 @@ type SealedBid struct{}
 func (SealedBid) Name() string { return "sealed-bid" }
 
 // Collect implements Protocol.
-func (SealedBid) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
-	return fanOut(rfb, peers), 1, nil
+func (SealedBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
+	round := roundSpan(sp, 1)
+	offers := fanOut(rfb, peers, round)
+	round.End()
+	return offers, 1, nil
 }
 
 // IterativeBid announces the best standing price after each round and lets
@@ -137,16 +171,20 @@ type IterativeBid struct {
 func (p IterativeBid) Name() string { return "iterative-bid" }
 
 // Collect implements Protocol.
-func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
+func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
 	rounds := p.MaxRounds
 	if rounds < 1 {
 		rounds = 3
 	}
-	offers := fanOut(rfb, peers)
+	round := roundSpan(sp, 1)
+	offers := fanOut(rfb, peers, round)
+	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
 		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: bestPrices(offers)}
-		improved := improveRound(req, peers)
+		round = roundSpan(sp, used+1)
+		improved := improveRound(req, peers, round)
+		round.End()
 		var changed bool
 		offers, changed = mergeImproved(offers, improved)
 		used++
@@ -168,7 +206,7 @@ type Bargain struct {
 func (p Bargain) Name() string { return "bargain" }
 
 // Collect implements Protocol.
-func (p Bargain) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
+func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
 	rounds := p.MaxRounds
 	if rounds < 1 {
 		rounds = 3
@@ -177,7 +215,9 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
 	if buyer == nil {
 		buyer = AnchoredBuyer{}
 	}
-	offers := fanOut(rfb, peers)
+	round := roundSpan(sp, 1)
+	offers := fanOut(rfb, peers, round)
+	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
 		best := bestPrices(offers)
@@ -186,7 +226,9 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer) ([]Offer, int, error) {
 			target[qid] = buyer.CounterOffer(qid, b)
 		}
 		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: best, Target: target}
-		improved := improveRound(req, peers)
+		round = roundSpan(sp, used+1)
+		improved := improveRound(req, peers, round)
+		round.End()
 		var changed bool
 		offers, changed = mergeImproved(offers, improved)
 		used++

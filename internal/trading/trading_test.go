@@ -75,7 +75,7 @@ func TestSealedBidCollectsFromAllPeers(t *testing.T) {
 		"b": &fakeSeller{id: "b", price: 20, floor: 15},
 		"c": &fakeSeller{id: "c", fail: true},
 	}
-	offers, rounds, err := SealedBid{}.Collect(rfb1(), peers)
+	offers, rounds, err := SealedBid{}.Collect(rfb1(), peers, nil)
 	if err != nil || rounds != 1 {
 		t.Fatalf("sealed: %v rounds=%d", err, rounds)
 	}
@@ -92,7 +92,7 @@ func TestIterativeBidDrivesPricesDown(t *testing.T) {
 	a := &fakeSeller{id: "a", price: 10, floor: 6}
 	b := &fakeSeller{id: "b", price: 12, floor: 2}
 	peers := map[string]Peer{"a": a, "b": b}
-	offers, rounds, err := IterativeBid{MaxRounds: 40}.Collect(rfb1(), peers)
+	offers, rounds, err := IterativeBid{MaxRounds: 40}.Collect(rfb1(), peers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestIterativeBidDrivesPricesDown(t *testing.T) {
 func TestIterativeBidStopsWhenStable(t *testing.T) {
 	a := &fakeSeller{id: "a", price: 10, floor: 10}
 	peers := map[string]Peer{"a": a}
-	_, rounds, _ := IterativeBid{MaxRounds: 10}.Collect(rfb1(), peers)
+	_, rounds, _ := IterativeBid{MaxRounds: 10}.Collect(rfb1(), peers, nil)
 	if rounds != 2 { // initial + one no-change improvement round
 		t.Fatalf("rounds: %d", rounds)
 	}
@@ -118,7 +118,7 @@ func TestIterativeBidStopsWhenStable(t *testing.T) {
 func TestBargainUsesCounterOffers(t *testing.T) {
 	a := &fakeSeller{id: "a", price: 100, floor: 10}
 	peers := map[string]Peer{"a": a}
-	offers, _, err := Bargain{MaxRounds: 8, Buyer: AnchoredBuyer{Discount: 0.5}}.Collect(rfb1(), peers)
+	offers, _, err := Bargain{MaxRounds: 8, Buyer: AnchoredBuyer{Discount: 0.5}}.Collect(rfb1(), peers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

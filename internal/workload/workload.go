@@ -15,6 +15,7 @@ import (
 	"qtrade/internal/exec"
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
+	"qtrade/internal/obs"
 	"qtrade/internal/sqlparse"
 	"qtrade/internal/trading"
 	"qtrade/internal/value"
@@ -43,6 +44,15 @@ func (f *Federation) BuyerConfig() core.Config {
 
 // Oracle returns the omniscient single node holding all data.
 func (f *Federation) Oracle() *node.Node { return f.oracle }
+
+// SetObs attaches tracing and metrics to every node's seller path (nil
+// arguments detach). Pair it with a core.Config carrying the same Tracer
+// and Metrics to capture the full buyer+sellers picture.
+func (f *Federation) SetObs(tr *obs.Tracer, m *obs.Metrics) {
+	for _, n := range f.Nodes {
+		n.SetObs(tr, m)
+	}
+}
 
 // GroundTruth evaluates sql on the oracle node.
 func (f *Federation) GroundTruth(sql string) (trading.ExecResp, error) {

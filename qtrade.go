@@ -40,6 +40,7 @@ import (
 	"qtrade/internal/exec"
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
+	"qtrade/internal/obs"
 	"qtrade/internal/sqlparse"
 	"qtrade/internal/storage"
 	"qtrade/internal/trading"
@@ -161,14 +162,20 @@ func WithoutViewOffers() NodeOption {
 // Federation is a simulated federation of autonomous nodes connected by an
 // in-process network with full message accounting.
 type Federation struct {
-	schema *Schema
-	net    *netsim.Network
-	nodes  map[string]*Node
+	schema  *Schema
+	net     *netsim.Network
+	nodes   map[string]*Node
+	metrics *obs.Metrics
 }
 
 // NewFederation creates an empty federation over the schema.
 func NewFederation(s *Schema) *Federation {
-	return &Federation{schema: s, net: netsim.New(), nodes: map[string]*Node{}}
+	return &Federation{
+		schema:  s,
+		net:     netsim.New(),
+		nodes:   map[string]*Node{},
+		metrics: obs.NewMetrics(),
+	}
 }
 
 // Node is one autonomous federation member.
@@ -182,7 +189,7 @@ func (f *Federation) AddNode(id string, opts ...NodeOption) (*Node, error) {
 	if _, dup := f.nodes[id]; dup {
 		return nil, fmt.Errorf("qtrade: duplicate node %q", id)
 	}
-	cfg := node.Config{ID: id, Schema: f.schema.sch}
+	cfg := node.Config{ID: id, Schema: f.schema.sch, Metrics: f.metrics}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -314,9 +321,10 @@ func WithMaxIterations(n int) OptimizeOption {
 
 // Plan is an optimized distributed execution plan.
 type Plan struct {
-	res   *core.Result
-	buyer string
-	fed   *Federation
+	res    *core.Result
+	buyer  string
+	fed    *Federation
+	tracer *obs.Tracer
 }
 
 // Optimize runs query-trading optimization from the named buyer node
@@ -326,15 +334,19 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.Tracer != nil {
+		f.setNodeTracer(cfg.Tracer)
+		defer f.setNodeTracer(nil)
 	}
 	res, err := core.Optimize(cfg, &core.NetComm{Net: f.net, SelfID: buyer}, sql)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{res: res, buyer: buyer, fed: f}, nil
+	return &Plan{res: res, buyer: buyer, fed: f, tracer: cfg.Tracer}, nil
 }
 
 // Explain renders the plan tree with the purchased offers.
@@ -372,6 +384,10 @@ type Result struct {
 // Run executes the plan: purchased answers are fetched from their sellers,
 // local operators run at the buyer.
 func (p *Plan) Run() (*Result, error) {
+	if p.tracer != nil {
+		p.fed.setNodeTracer(p.tracer)
+		defer p.fed.setNodeTracer(nil)
+	}
 	ex := &exec.Executor{Store: p.fed.nodes[p.buyer].inner.Store()}
 	res, err := core.ExecuteResult(&core.NetComm{Net: p.fed.net, SelfID: p.buyer}, ex, p.res)
 	if err != nil {
@@ -426,9 +442,13 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.Tracer != nil {
+		f.setNodeTracer(cfg.Tracer)
+		defer f.setNodeTracer(nil)
 	}
 	comm := &core.NetComm{Net: f.net, SelfID: buyer}
 	out, _, _, err := core.OptimizeAndExecute(cfg, comm, &exec.Executor{Store: bn.inner.Store()}, sql, maxRetries)
