@@ -149,6 +149,16 @@ func BenchmarkExpF11AggPushdown(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF12Chaos regenerates F12: fault-tolerant trading under a
+// seeded chaos plan with a permanently slow seller.
+func BenchmarkExpF12Chaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F12Chaos(2, int64(i))
+		lastRowMetric(b, tab, 9, "msgs_at_30pct_drop")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
@@ -39,6 +40,7 @@ func main() {
 	lines := flag.Int("lines", 3, "invoice lines per customer")
 	invoices := flag.Bool("invoices", true, "hold a full invoiceline replica")
 	competitive := flag.Bool("competitive", false, "price with an adaptive profit margin instead of truthfully")
+	slow := flag.Duration("slow", 0, "delay added to every served call (simulate a straggling seller)")
 	seed := flag.Int64("seed", 1, "data seed (must match across the federation)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
@@ -74,13 +76,17 @@ func main() {
 		copyTable(src, n, "customer")
 	}
 
-	ln, err := netsim.ServeRPC(*listen, *id, n)
+	var svc netsim.Service = n
+	if *slow > 0 {
+		svc = slowService{Service: n, delay: *slow}
+	}
+	ln, err := netsim.ServeRPC(*listen, *id, svc)
 	if err != nil {
 		slog.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	slog.Info("serving", "id", *id, "office", *office, "addr", ln.Addr().String(),
-		"tables", fmt.Sprint(n.Store().Tables()), "competitive", *competitive)
+		"tables", fmt.Sprint(n.Store().Tables()), "competitive", *competitive, "slow", *slow)
 	fmt.Printf("qtnode %s serving office %s on %s (tables: %v)\n",
 		*id, *office, ln.Addr(), n.Store().Tables())
 
@@ -92,6 +98,34 @@ func main() {
 	if snap := metrics.Snapshot(); snap != "" {
 		fmt.Printf("-- seller metrics for %s --\n%s", *id, snap)
 	}
+}
+
+// slowService delays every served call by a fixed amount — a permanently
+// slow seller for exercising the buyer's call timeouts and circuit breakers
+// against a real process.
+type slowService struct {
+	netsim.Service
+	delay time.Duration
+}
+
+func (s slowService) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+	time.Sleep(s.delay)
+	return s.Service.RequestBids(rfb)
+}
+
+func (s slowService) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+	time.Sleep(s.delay)
+	return s.Service.ImproveBids(req)
+}
+
+func (s slowService) Award(aw trading.Award) error {
+	time.Sleep(s.delay)
+	return s.Service.Award(aw)
+}
+
+func (s slowService) Execute(req trading.ExecReq) (trading.ExecResp, error) {
+	time.Sleep(s.delay)
+	return s.Service.Execute(req)
 }
 
 // setupLogging installs a text slog handler at the requested level.

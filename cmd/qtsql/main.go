@@ -9,7 +9,11 @@
 //	qtsql -connect corfu=localhost:7001,myconos=localhost:7002
 //
 // Commands: EXPLAIN <query>, EXPLAIN ANALYZE <query>, \trace on|off,
-// \trace save <file>, \metrics, \stats, \nodes, \quit.
+// \trace save <file>, \metrics, \stats, \nodes, \quit. In simulation mode
+// the federation can be perturbed interactively: \down <node> and
+// \up <node> toggle node failures, \chaos <seed> <rate> installs a seeded
+// chaos plan dropping the given fraction of requests (\chaos off removes
+// it).
 package main
 
 import (
@@ -19,7 +23,9 @@ import (
 	"log/slog"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"qtrade/internal/core"
 	"qtrade/internal/exec"
@@ -116,13 +122,14 @@ func main() {
 	customers := flag.Int("customers", 50, "customers per office")
 	offices := flag.String("offices", "Corfu,Myconos,Athens", "federation offices")
 	connect := flag.String("connect", "", "comma-separated id=addr pairs of qtnode servers; empty = in-process simulation")
+	callTimeout := flag.Duration("call-timeout", 0, "remote mode: bound on dialing and on every RPC to a qtnode (0 = none)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
 	flag.Parse()
 
 	setupLogging(*logLevel)
 
 	if *connect != "" {
-		runRemote(*offices, *connect)
+		runRemote(*offices, *connect, *callTimeout)
 		return
 	}
 
@@ -136,7 +143,8 @@ func main() {
 	s.attach(nil) // metrics-only steady state
 	slog.Info("federation ready", "offices", *offices, "customers", *customers)
 	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
-	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\stats", "\nodes" or "\quit"`)
+	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\stats", "\nodes",`)
+	fmt.Println(`  "\down <node>", "\up <node>", "\chaos <seed> <rate>" or "\quit"`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -156,6 +164,44 @@ func main() {
 			fmt.Printf("network: %d messages, %d bytes\n", msgs, bytes)
 			for _, pt := range sortedPairs(f.Net) {
 				fmt.Printf("  %-20s %d messages, %d bytes\n", pt.label, pt.stats.Messages, pt.stats.Bytes)
+			}
+			if f.Net.FaultPlanActive() {
+				cs := f.Net.ChaosStats()
+				fmt.Printf("chaos: %d drops, %d error replies, %d slow calls, %d flap rejects, %d crashes\n",
+					cs.Drops, cs.InjectedErrors, cs.SlowCalls, cs.FlapRejects, cs.Crashes)
+			}
+			continue
+		case strings.HasPrefix(line, `\down `) || strings.HasPrefix(line, `\up `):
+			down := strings.HasPrefix(line, `\down `)
+			id := strings.TrimSpace(line[strings.Index(line, " ")+1:])
+			if _, ok := f.Nodes[id]; !ok {
+				fmt.Printf("unknown node %q\n", id)
+				continue
+			}
+			f.Net.SetDown(id, down)
+			if down {
+				fmt.Printf("%s is down (peers now get hard errors; \\up %s to restore)\n", id, id)
+			} else {
+				fmt.Printf("%s is back up\n", id)
+			}
+			continue
+		case strings.HasPrefix(line, `\chaos`):
+			args := strings.Fields(strings.TrimPrefix(line, `\chaos`))
+			switch {
+			case len(args) == 1 && args[0] == "off":
+				f.Net.SetFaultPlan(nil)
+				fmt.Println("chaos off")
+			case len(args) == 2:
+				seed, err1 := strconv.ParseInt(args[0], 10, 64)
+				rate, err2 := strconv.ParseFloat(args[1], 64)
+				if err1 != nil || err2 != nil || rate < 0 || rate > 1 {
+					fmt.Println(`usage: \chaos <seed> <drop-rate 0..1> | \chaos off`)
+					continue
+				}
+				f.Net.SetFaultPlan(&netsim.FaultPlan{Seed: seed, DropProb: rate})
+				fmt.Printf("chaos on: seed %d, dropping %.0f%% of requests (\\chaos off to stop)\n", seed, rate*100)
+			default:
+				fmt.Println(`usage: \chaos <seed> <drop-rate 0..1> | \chaos off`)
 			}
 			continue
 		case line == `\nodes`:
@@ -247,8 +293,10 @@ func sortedPairs(net *netsim.Network) []pairLine {
 	return out
 }
 
-// runRemote drives a federation of qtnode processes over net/rpc.
-func runRemote(offices, connect string) {
+// runRemote drives a federation of qtnode processes over net/rpc. With a
+// positive callTimeout both dialing and every RPC are bounded, so a hung or
+// unreachable qtnode fails fast instead of stalling the shell.
+func runRemote(offices, connect string, callTimeout time.Duration) {
 	sch := workload.TelcoSchema(strings.Split(offices, ","))
 	peers := map[string]trading.Peer{}
 	rpcPeers := map[string]*netsim.RPCPeer{}
@@ -258,7 +306,13 @@ func runRemote(offices, connect string) {
 			slog.Error("bad -connect entry (want id=addr)", "entry", pair)
 			os.Exit(1)
 		}
-		p, err := netsim.DialPeer(addr, id)
+		var p *netsim.RPCPeer
+		var err error
+		if callTimeout > 0 {
+			p, err = netsim.DialPeerTimeout(addr, id, callTimeout)
+		} else {
+			p, err = netsim.DialPeer(addr, id)
+		}
 		if err != nil {
 			slog.Error("dial failed", "node", id, "addr", addr, "err", err)
 			os.Exit(1)

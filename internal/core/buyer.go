@@ -67,6 +67,14 @@ type Config struct {
 	// time with its private knowledge of the path, so nearby replicas win
 	// over far ones in heterogeneous (WAN) federations.
 	PeerLatency func(sellerID string) float64
+	// Faults, when set, guards every peer exchange with the policy's
+	// per-call timeout, bounded retry, and per-peer circuit breaker, and
+	// bounds each negotiation round with a straggler-cutting deadline
+	// (FaultAware protocols). It also unlocks the graceful-degradation path
+	// of OptimizeAndExecute: standing-offer fallback before re-optimization.
+	// Nil (the default) leaves every call unguarded — the exact
+	// pre-fault-tolerance behaviour.
+	Faults *trading.FaultPolicy
 	// Tracer, when set, records one span tree for this optimization:
 	// iterations → negotiation rounds → per-seller RFBs, plus plan
 	// generation and the predicates analyser. Nil (the default) costs
@@ -97,11 +105,14 @@ type Stats struct {
 }
 
 // Result is the outcome of a QT optimization: the winning candidate plan and
-// the offers it purchases.
+// the offers it purchases. Pool retains the full standing-offer pool of the
+// final iteration (sorted by OfferID) so execution-time recovery can fall
+// back to the next-best standing offer without re-negotiating.
 type Result struct {
 	SQL       string
 	Candidate Candidate
 	Stats     Stats
+	Pool      []trading.Offer
 }
 
 var rfbSeq atomic.Int64
@@ -173,6 +184,11 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	if cfg.Protocol == nil {
 		cfg.Protocol = trading.SealedBid{}
 	}
+	if cfg.Faults != nil {
+		if fa, ok := cfg.Protocol.(trading.FaultAware); ok {
+			cfg.Protocol = fa.WithPolicy(cfg.Faults)
+		}
+	}
 	if cfg.Mode == "" {
 		cfg.Mode = GenDP
 	}
@@ -212,7 +228,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	}
 	var emptyReplies atomic.Int64
 	for id, p := range peers {
-		peers[id] = countingPeer{Peer: p, empty: &emptyReplies}
+		peers[id] = countingPeer{Peer: cfg.Faults.Wrap(id, p), empty: &emptyReplies}
 	}
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
@@ -348,14 +364,23 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		if o.SellerID == cfg.ID {
 			continue // own offers need no award message
 		}
-		_ = comm.Award(o.SellerID, trading.Award{RFBID: o.RFBID, OfferID: o.OfferID, BuyerID: cfg.ID})
+		aw := trading.Award{RFBID: o.RFBID, OfferID: o.OfferID, BuyerID: cfg.ID}
+		// Award failures are tolerable (sellers execute purchased SQL even
+		// without the courtesy notification), but guard them so a dead
+		// winner cannot hang the buyer.
+		_ = cfg.Faults.Call(o.SellerID, func() error { return comm.Award(o.SellerID, aw) })
 	}
 	awSp.End()
 	stats.PoolSize = len(pool)
 	stats.EmptyBidResponses = int(emptyReplies.Load())
 	stats.WallTime = time.Since(start)
 	bo.optimizeMS.Observe(float64(stats.WallTime.Microseconds()) / 1000)
-	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats}, nil
+	finalPool := make([]trading.Offer, 0, len(pool))
+	for _, o := range pool {
+		finalPool = append(finalPool, o)
+	}
+	sort.Slice(finalPool, func(i, j int) bool { return finalPool[i].OfferID < finalPool[j].OfferID })
+	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool}, nil
 }
 
 // ExecuteResult runs the winning plan: Remote leaves are fetched from their

@@ -32,12 +32,33 @@ func (c *trackingComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, 
 	return resp, err
 }
 
+// guardedComm runs a Comm's exchanges under a FaultPolicy: Fetch gets the
+// full breaker/timeout/retry guard (a hung or flaky seller cannot stall
+// delivery unboundedly), Award the same as a plain guarded call.
+type guardedComm struct {
+	inner Comm
+	pol   *trading.FaultPolicy
+}
+
+func (g guardedComm) Peers() map[string]trading.Peer { return g.inner.Peers() }
+
+func (g guardedComm) Award(to string, aw trading.Award) error {
+	return g.pol.Call(to, func() error { return g.inner.Award(to, aw) })
+}
+
+func (g guardedComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, error) {
+	return trading.GuardCall(g.pol, to, func() (trading.ExecResp, error) { return g.inner.Fetch(to, req) })
+}
+
 // OptimizeAndExecute runs the full pipeline with execution-time recovery: if
 // a purchased seller fails while delivering (crash between negotiation and
 // execution — the autonomy hazard the paper's contracting extension targets),
-// the buyer re-optimizes with the failed sellers excluded and retries, up to
-// maxRetries times. It returns the rows, the final winning plan, and the
-// number of recovery rounds used.
+// the buyer recovers and retries, up to maxRetries times. With cfg.Faults
+// set, recovery first tries the cheap path — substituting an equivalent
+// standing offer from the final pool into the winning plan (see
+// substituteOffers) — and only re-optimizes with the failed sellers excluded
+// when no substitute exists. It returns the rows, the final winning plan,
+// and the number of recovery rounds used.
 func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql string, maxRetries int) (*exec.Result, *Result, int, error) {
 	if maxRetries < 0 {
 		maxRetries = 0
@@ -45,6 +66,11 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 	excluded := map[string]bool{}
 	for k, v := range cfg.ExcludeSellers {
 		excluded[k] = v
+	}
+	fallbacks := cfg.Metrics.Counter("buyer." + cfg.ID + ".recovery_fallbacks")
+	execComm := comm
+	if cfg.Faults != nil {
+		execComm = guardedComm{inner: comm, pol: cfg.Faults}
 	}
 	var lastErr error
 	for attempt := 0; attempt <= maxRetries; attempt++ {
@@ -54,17 +80,43 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 		if err != nil {
 			return nil, nil, attempt, err
 		}
-		tc := &trackingComm{inner: comm, failed: map[string]bool{}}
+		tc := &trackingComm{inner: execComm, failed: map[string]bool{}}
 		sp := cfg.Tracer.Start(cfg.ID, "execute")
 		sp.Set("attempt", attempt)
 		out, err := executeWith(tc, localExec, res)
-		if err != nil {
-			sp.Set("error", err)
-		}
-		sp.End()
 		if err == nil {
+			sp.End()
 			return out, res, attempt, nil
 		}
+		// Graceful degradation: before paying for a re-optimization, fall
+		// back to the next-best standing offers covering the failed
+		// purchases. Each pass may expose another broken seller, so keep
+		// substituting until the plan runs or the pool is out of equivalents.
+		if cfg.Faults != nil {
+			for err != nil && len(tc.failed) > 0 {
+				repl, ok := substituteOffers(res, tc.failed)
+				if !ok {
+					break
+				}
+				fallbacks.Add(int64(len(repl)))
+				sp.Set("fallbacks", len(repl))
+				for _, nb := range repl {
+					if nb.SellerID == cfg.ID {
+						continue
+					}
+					// Courtesy award to the substitute; failures are
+					// tolerable (execution carries the purchased SQL).
+					_ = execComm.Award(nb.SellerID, trading.Award{RFBID: nb.RFBID, OfferID: nb.OfferID, BuyerID: cfg.ID})
+				}
+				out, err = executeWith(tc, localExec, res)
+			}
+			if err == nil {
+				sp.End()
+				return out, res, attempt, nil
+			}
+		}
+		sp.Set("error", err)
+		sp.End()
 		lastErr = err
 		if len(tc.failed) == 0 {
 			// Not a delivery failure (e.g. a local execution bug): retrying

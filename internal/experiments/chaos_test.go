@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestF12ChaosSmoke is the fixed-seed chaos smoke test: with a 20% drop
+// plan and a permanently slow seller in the sweep, every query must still
+// complete (stragglers cut, retries absorb the drops, the slow peer's
+// breaker opens) and the fault counters must show the machinery worked.
+func TestF12ChaosSmoke(t *testing.T) {
+	const queries = 3
+	tab := F12Chaos(queries, 7)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	col := func(name string) int {
+		for i, h := range tab.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	num := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col(name)], 10, 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+	want := strconv.Itoa(queries) + "/" + strconv.Itoa(queries)
+	for _, row := range tab.Rows {
+		if got := row[col("ok")]; got != want {
+			t.Fatalf("drop rate %s completed %s queries, want %s\n%v",
+				row[0], got, want, tab.Rows)
+		}
+		// The slow seller exceeds the call timeout at every drop rate, so
+		// timeouts accrue and its breaker opens even in the 0% row.
+		if num(row, "timeouts") == 0 {
+			t.Fatalf("drop rate %s: no call timeouts despite slow seller\n%v", row[0], row)
+		}
+		if num(row, "breaker_opens") == 0 {
+			t.Fatalf("drop rate %s: slow seller's breaker never opened\n%v", row[0], row)
+		}
+		if num(row, "retries") == 0 {
+			t.Fatalf("drop rate %s: no retries recorded\n%v", row[0], row)
+		}
+	}
+}

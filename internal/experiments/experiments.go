@@ -688,6 +688,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F9", func() *Table { return F9Replication([]int{1, 2}, seed) }},
 		{"F10", func() *Table { return F10Subcontract(seed) }},
 		{"F11", func() *Table { return F11AggPushdown(seed) }},
+		{"F12", func() *Table { return F12Chaos(4, seed) }},
 	}
 }
 
@@ -707,6 +708,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F9", func() *Table { return F9Replication([]int{1, 2, 3, 4}, seed) }},
 		{"F10", func() *Table { return F10Subcontract(seed) }},
 		{"F11", func() *Table { return F11AggPushdown(seed) }},
+		{"F12", func() *Table { return F12Chaos(20, seed) }},
 	}
 }
 

@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qtrade/internal/trading"
+)
+
+// run fires count RequestBids from "buyer" to "a" and reports how many
+// succeeded.
+func run(n *Network, count int) int {
+	p := n.Peer("buyer", "a")
+	ok := 0
+	for i := 0; i < count; i++ {
+		if _, err := p.RequestBids(rfb()); err == nil {
+			ok++
+		}
+	}
+	return ok
+}
+
+func TestChaosDeterministicDrops(t *testing.T) {
+	outcomes := func() []bool {
+		n := New()
+		n.Register("a", &echoService{id: "a"})
+		n.SetFaultPlan(&FaultPlan{Seed: 42, DropProb: 0.5})
+		p := n.Peer("buyer", "a")
+		var out []bool
+		for i := 0; i < 40; i++ {
+			_, err := p.RequestBids(rfb())
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, same call sequence must make the same decisions (call %d)", i)
+		}
+	}
+	drops := 0
+	for _, ok := range a {
+		if !ok {
+			drops++
+		}
+	}
+	if drops < 8 || drops > 32 {
+		t.Fatalf("50%% drop plan dropped %d/40", drops)
+	}
+}
+
+func TestChaosDropsAreTransientAndCharged(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.SetFaultPlan(&FaultPlan{Seed: 7, DropProb: 1})
+	req := rfb()
+	_, err := n.Peer("buyer", "a").RequestBids(req)
+	if err == nil || !trading.IsTransient(err) {
+		t.Fatalf("a dropped message must be a transient error, got %v", err)
+	}
+	if m, b := n.Stats(); m != 1 || b != int64(req.WireSize()) {
+		t.Fatalf("drop accounting: %d msgs %d bytes", m, b)
+	}
+	if st := n.ChaosStats(); st.Drops != 1 {
+		t.Fatalf("chaos stats: %+v", st)
+	}
+}
+
+func TestChaosInjectedErrors(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.SetFaultPlan(&FaultPlan{Seed: 7, ErrorProb: 1})
+	_, err := n.Peer("buyer", "a").RequestBids(rfb())
+	if err == nil || !trading.IsTransient(err) {
+		t.Fatalf("injected errors must be transient, got %v", err)
+	}
+	// An error reply is a full round trip: request + minimal response.
+	if m, _ := n.Stats(); m != 2 {
+		t.Fatalf("error-reply accounting: %d msgs", m)
+	}
+	if st := n.ChaosStats(); st.InjectedErrors != 1 {
+		t.Fatalf("chaos stats: %+v", st)
+	}
+}
+
+func TestChaosLinkOverrideAndEmptyPlan(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	// Empty plan: no faults, traffic identical to a chaos-free network.
+	n.SetFaultPlan(&FaultPlan{Seed: 1})
+	if ok := run(n, 10); ok != 10 {
+		t.Fatalf("empty plan must not fault: %d/10", ok)
+	}
+	if m, _ := n.Stats(); m != 20 {
+		t.Fatalf("empty plan must not change accounting: %d msgs", m)
+	}
+	// Per-link override beats the global probability.
+	n.SetFaultPlan(&FaultPlan{
+		Seed:         1,
+		DropProb:     1,
+		LinkDropProb: map[Pair]float64{{From: "buyer", To: "a"}: 0},
+	})
+	if ok := run(n, 10); ok != 10 {
+		t.Fatalf("overridden link must not drop: %d/10", ok)
+	}
+	n.SetFaultPlan(nil)
+	if !errorsNil(run(n, 5), 5) {
+		t.Fatal("cleared plan must stop injecting")
+	}
+	if n.FaultPlanActive() {
+		t.Fatal("FaultPlanActive after clear")
+	}
+}
+
+func errorsNil(got, want int) bool { return got == want }
+
+func TestChaosSlowNode(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.SetFaultPlan(&FaultPlan{Seed: 1, SlowNodeMS: map[string]float64{"a": 20}})
+	t0 := time.Now()
+	if _, err := n.Peer("buyer", "a").RequestBids(rfb()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("slow node must really delay: %v", d)
+	}
+	if st := n.ChaosStats(); st.SlowCalls != 1 {
+		t.Fatalf("chaos stats: %+v", st)
+	}
+}
+
+func TestChaosFlap(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.SetFaultPlan(&FaultPlan{Seed: 1, FlapPeriod: map[string]int{"a": 3}})
+	p := n.Peer("buyer", "a")
+	var got []bool
+	for i := 0; i < 12; i++ {
+		_, err := p.RequestBids(rfb())
+		got = append(got, err == nil)
+		if err != nil && !trading.IsTransient(err) {
+			t.Fatalf("flap rejection must be transient: %v", err)
+		}
+	}
+	want := []bool{true, true, true, false, false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flap window mismatch at call %d: %v", i, got)
+		}
+	}
+	if st := n.ChaosStats(); st.FlapRejects != 6 {
+		t.Fatalf("chaos stats: %+v", st)
+	}
+}
+
+func TestChaosCrashAfterAward(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.SetFaultPlan(&FaultPlan{Seed: 1, CrashAfterAward: map[string]bool{"a": true}})
+	if ok := run(n, 2); ok != 2 {
+		t.Fatal("node must serve before the award")
+	}
+	// The award itself succeeds — then the node dies.
+	if err := n.Award("buyer", "a", trading.Award{RFBID: "r", OfferID: "o"}); err != nil {
+		t.Fatalf("award: %v", err)
+	}
+	if _, err := n.Peer("buyer", "a").RequestBids(rfb()); err == nil {
+		t.Fatal("crashed node must reject")
+	} else if trading.IsTransient(err) {
+		t.Fatalf("a crash is a hard failure, got transient %v", err)
+	}
+	if _, err := n.Execute("buyer", "a", trading.ExecReq{SQL: "SELECT 1"}); err == nil {
+		t.Fatal("crashed node must fail execution fetches")
+	}
+	if st := n.ChaosStats(); st.Crashes != 1 {
+		t.Fatalf("chaos stats: %+v", st)
+	}
+}
+
+func TestRPCCallTimeout(t *testing.T) {
+	svc := &slowService{echoService: echoService{id: "slow"}}
+	svc.delay.Store(int64(200 * time.Millisecond))
+	ln, err := ServeRPC("127.0.0.1:0", "Node", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	peer, err := DialPeerTimeout(ln.Addr().String(), "Node", 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	_, err = peer.RequestBids(rfb())
+	if !errors.Is(err, trading.ErrCallTimeout) || !trading.IsTransient(err) {
+		t.Fatalf("want transient ErrCallTimeout, got %v", err)
+	}
+	// A fast call under the same timeout succeeds. The first call's server
+	// goroutine may still be sleeping, so the delay must be atomic.
+	svc.delay.Store(0)
+	if _, err := peer.RequestBids(rfb()); err != nil {
+		t.Fatalf("fast call: %v", err)
+	}
+}
+
+// slowService delays every RequestBids by delay (nanoseconds).
+type slowService struct {
+	echoService
+	delay atomic.Int64
+}
+
+func (s *slowService) RequestBids(r trading.RFB) ([]trading.Offer, error) {
+	time.Sleep(time.Duration(s.delay.Load()))
+	return s.echoService.RequestBids(r)
+}

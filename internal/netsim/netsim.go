@@ -41,6 +41,12 @@ type Network struct {
 
 	pairMu sync.Mutex
 	pairs  map[Pair]*pairCounters
+
+	// chaos, when non-nil, is the installed fault injector (see chaos.go).
+	// Kept behind one atomic pointer load so a fault-free network pays a
+	// single nil check per call and behaves identically to one without
+	// chaos support.
+	chaos atomic.Pointer[chaosState]
 }
 
 // Pair identifies one directed sender→receiver link.
@@ -131,15 +137,24 @@ func (n *Network) Reset() {
 	n.pairMu.Unlock()
 }
 
-func (n *Network) lookup(to string) (Service, error) {
+// dispatch resolves the receiver of one call and runs the fault injector.
+// An unknown node costs nothing (there is no route to send on); a down,
+// crashed or flapping node and a dropped request charge the request on the
+// from→to link — it crossed the wire even though nothing answered.
+func (n *Network) dispatch(from, to string, reqBytes int) (Service, error) {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if n.down[to] {
-		return nil, fmt.Errorf("netsim: node %q is down", to)
-	}
 	svc, ok := n.nodes[to]
+	down := n.down[to]
+	n.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: unknown node %q", to)
+	}
+	if down {
+		n.accountLost(from, to, reqBytes)
+		return nil, fmt.Errorf("netsim: node %q is down", to)
+	}
+	if err := n.chaosBefore(from, to, reqBytes); err != nil {
+		return nil, err
 	}
 	return svc, nil
 }
@@ -184,7 +199,7 @@ func (n *Network) Peers(from string) map[string]trading.Peer {
 
 // Execute performs a purchased-answer fetch with full accounting.
 func (n *Network) Execute(from, to string, req trading.ExecReq) (trading.ExecResp, error) {
-	svc, err := n.lookup(to)
+	svc, err := n.dispatch(from, to, req.WireSize())
 	if err != nil {
 		return trading.ExecResp{}, err
 	}
@@ -196,9 +211,10 @@ func (n *Network) Execute(from, to string, req trading.ExecReq) (trading.ExecRes
 	return resp, nil
 }
 
-// Award delivers an award notification with accounting.
+// Award delivers an award notification with accounting. A node whose fault
+// plan marks it crash-after-award accepts the award, then dies.
 func (n *Network) Award(from, to string, aw trading.Award) error {
-	svc, err := n.lookup(to)
+	svc, err := n.dispatch(from, to, aw.WireSize())
 	if err != nil {
 		return err
 	}
@@ -206,6 +222,7 @@ func (n *Network) Award(from, to string, aw trading.Award) error {
 		return err
 	}
 	n.account(from, to, aw.WireSize(), 8)
+	n.chaosAfterAward(to)
 	return nil
 }
 
@@ -217,7 +234,7 @@ type simPeer struct {
 
 // RequestBids implements trading.Peer.
 func (p *simPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
-	svc, err := p.net.lookup(p.to)
+	svc, err := p.net.dispatch(p.from, p.to, rfb.WireSize())
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +258,7 @@ func (p *simPeer) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 
 // ImproveBids implements trading.Peer.
 func (p *simPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
-	svc, err := p.net.lookup(p.to)
+	svc, err := p.net.dispatch(p.from, p.to, req.WireSize())
 	if err != nil {
 		return nil, err
 	}

@@ -96,12 +96,27 @@ func TestUnknownAndDownNodes(t *testing.T) {
 	if _, err := n.Peer("x", "a").RequestBids(rfb()); err != nil {
 		t.Fatalf("revived node: %v", err)
 	}
-	// Failed calls must not count messages.
+	// A call to a down node still cost its request: one message, charged on
+	// the x→a link only (nothing came back).
 	n.Reset()
 	n.SetDown("a", true)
-	_, _ = n.Peer("x", "a").RequestBids(rfb())
+	req := rfb()
+	_, _ = n.Peer("x", "a").RequestBids(req)
+	if m, b := n.Stats(); m != 1 || b != int64(req.WireSize()) {
+		t.Fatalf("down call must charge the lost request: %d msgs %d bytes", m, b)
+	}
+	by := n.StatsByPair()
+	if st := by[Pair{From: "x", To: "a"}]; st.Messages != 1 {
+		t.Fatalf("x->a: %+v", st)
+	}
+	if st := by[Pair{From: "a", To: "x"}]; st.Messages != 0 {
+		t.Fatalf("a->x must stay empty: %+v", st)
+	}
+	// A call to an unknown node costs nothing: there is no route to send on.
+	n.Reset()
+	_, _ = n.Peer("x", "ghost").RequestBids(rfb())
 	if m, _ := n.Stats(); m != 0 {
-		t.Fatalf("down call counted: %d", m)
+		t.Fatalf("unknown-node call counted: %d", m)
 	}
 }
 

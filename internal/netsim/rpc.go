@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"net"
 	"net/rpc"
+	"time"
 
 	"qtrade/internal/trading"
 )
@@ -82,8 +84,13 @@ func ServeRPC(addr string, name string, svc Service) (net.Listener, error) {
 
 // RPCPeer is a trading.Peer speaking net/rpc to a remote node.
 type RPCPeer struct {
-	Name   string // registered service name on the remote side
-	client *rpc.Client
+	Name string // registered service name on the remote side
+	// CallTimeout, when positive, bounds every call; a call that exceeds it
+	// fails with a transient trading.ErrCallTimeout (the in-flight RPC is
+	// abandoned, its late reply discarded). Zero keeps calls unbounded — a
+	// hung server then hangs the caller, exactly net/rpc's native behaviour.
+	CallTimeout time.Duration
+	client      *rpc.Client
 }
 
 // DialPeer connects to a node served by ServeRPC.
@@ -95,30 +102,57 @@ func DialPeer(addr, name string) (*RPCPeer, error) {
 	return &RPCPeer{Name: name, client: c}, nil
 }
 
+// DialPeerTimeout is DialPeer with a bound on connection establishment; the
+// returned peer also applies timeout to every call. An unreachable or
+// blackholed server then fails the dial within timeout instead of hanging.
+func DialPeerTimeout(addr, name string, timeout time.Duration) (*RPCPeer, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCPeer{Name: name, CallTimeout: timeout, client: rpc.NewClient(conn)}, nil
+}
+
+// call performs one RPC under the peer's CallTimeout.
+func (p *RPCPeer) call(method string, args, reply any) error {
+	if p.CallTimeout <= 0 {
+		return p.client.Call(p.Name+"."+method, args, reply)
+	}
+	c := p.client.Go(p.Name+"."+method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(p.CallTimeout)
+	defer t.Stop()
+	select {
+	case done := <-c.Done:
+		return done.Error
+	case <-t.C:
+		return trading.MarkTransient(fmt.Errorf("netsim: rpc %s.%s: %w", p.Name, method, trading.ErrCallTimeout))
+	}
+}
+
 // RequestBids implements trading.Peer.
 func (p *RPCPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 	var reply []trading.Offer
-	err := p.client.Call(p.Name+".RequestBids", &rfb, &reply)
+	err := p.call("RequestBids", &rfb, &reply)
 	return reply, err
 }
 
 // ImproveBids implements trading.Peer.
 func (p *RPCPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
 	var reply []trading.Offer
-	err := p.client.Call(p.Name+".ImproveBids", &req, &reply)
+	err := p.call("ImproveBids", &req, &reply)
 	return reply, err
 }
 
 // Award notifies the remote node of a win.
 func (p *RPCPeer) Award(aw trading.Award) error {
 	var ok bool
-	return p.client.Call(p.Name+".Award", &aw, &ok)
+	return p.call("Award", &aw, &ok)
 }
 
 // Execute fetches a purchased answer.
 func (p *RPCPeer) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	var resp trading.ExecResp
-	err := p.client.Call(p.Name+".Execute", &req, &resp)
+	err := p.call("Execute", &req, &resp)
 	return resp, err
 }
 

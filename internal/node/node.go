@@ -58,6 +58,11 @@ type Config struct {
 	// execution time when the peers do not expose an Execute method
 	// themselves (e.g. pure trading.Peer implementations).
 	SubcontractFetch func(peerID string, req trading.ExecReq) (trading.ExecResp, error)
+	// Faults, when set, guards the nested subcontract negotiation with the
+	// policy's timeouts, retries and per-peer breakers. Share one policy
+	// (and its BreakerSet) with the buyer so failures seen on either side
+	// open the same breaker.
+	Faults *trading.FaultPolicy
 	// Tracer and Metrics attach observability at construction time; both may
 	// stay nil (the default) for zero-overhead operation, and either can be
 	// swapped later with Node.SetObs.

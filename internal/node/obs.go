@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"qtrade/internal/obs"
+	"qtrade/internal/trading"
 )
 
 // nodeObs bundles a node's tracer with its pre-resolved instruments so the
@@ -51,6 +52,12 @@ func (n *Node) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 		execMS:            m.Histogram(p + "exec_ms"),
 	})
 }
+
+// SetFaultPolicy attaches (or with nil detaches) the fault policy guarding
+// the node's subcontract exchanges. Call it during federation setup, before
+// negotiations start: unlike SetObs it is not synchronized against in-flight
+// calls.
+func (n *Node) SetFaultPolicy(p *trading.FaultPolicy) { n.cfg.Faults = p }
 
 // msSince converts an elapsed interval to histogram milliseconds.
 func msSince(t0 time.Time) float64 {

@@ -42,6 +42,15 @@ func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *
 	if len(peers) == 0 {
 		return nil
 	}
+	if n.cfg.Faults != nil {
+		// Guard the negotiation only; execution-time fetches go through the
+		// raw peers (executeSubcontract needs their Execute method).
+		guarded := make(map[string]trading.Peer, len(peers))
+		for id, p := range peers {
+			guarded[id] = n.cfg.Faults.Wrap(id, p)
+		}
+		peers = guarded
+	}
 	var out []trading.Offer
 	for _, tr := range sel.From {
 		b := strings.ToLower(tr.Binding())
@@ -98,7 +107,7 @@ func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sql
 			SQL: q.SQL(),
 		})
 	}
-	offers, _, err := trading.SealedBid{}.Collect(subRFB, peers, sp)
+	offers, _, err := trading.SealedBid{Policy: n.cfg.Faults}.Collect(subRFB, peers, sp)
 	if err != nil {
 		return trading.Offer{}, false
 	}
@@ -237,11 +246,17 @@ func (n *Node) executeSubcontract(sc *subcontract) (trading.ExecResp, error) {
 		})
 		var resp trading.ExecResp
 		var err error
-		if ok {
-			resp, err = peer.Execute(trading.ExecReq{BuyerID: n.cfg.ID, SQL: r.sql})
-		} else if n.cfg.SubcontractFetch != nil {
-			resp, err = n.cfg.SubcontractFetch(r.peerID, trading.ExecReq{BuyerID: n.cfg.ID, SQL: r.sql})
-		} else {
+		req := trading.ExecReq{BuyerID: n.cfg.ID, SQL: r.sql}
+		switch {
+		case ok:
+			// Guarded so a subcontractor that died after winning cannot hang
+			// the composite delivery (nil policy = direct call).
+			resp, err = trading.GuardCall(n.cfg.Faults, r.peerID, func() (trading.ExecResp, error) {
+				return peer.Execute(req)
+			})
+		case n.cfg.SubcontractFetch != nil:
+			resp, err = n.cfg.SubcontractFetch(r.peerID, req)
+		default:
 			return trading.ExecResp{}, fmt.Errorf("node %s: no execution channel to subcontractor %s", n.cfg.ID, r.peerID)
 		}
 		if err != nil {

@@ -2,7 +2,7 @@ package trading
 
 import (
 	"sort"
-	"sync"
+	"time"
 
 	"qtrade/internal/obs"
 )
@@ -25,67 +25,77 @@ type Protocol interface {
 	Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) (offers []Offer, rounds int, err error)
 }
 
-// fanOut sends the RFB to every peer concurrently and merges the replies.
-// Failing peers are skipped: autonomy means remote nodes may decline or die,
-// and the negotiation must survive that.
-func fanOut(rfb RFB, peers map[string]Peer, round *obs.Span) []Offer {
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var all []Offer
+// gather sends one request to every peer concurrently and merges the
+// replies. Failing peers are skipped: autonomy means remote nodes may
+// decline or die, and the negotiation must survive that. When pol sets a
+// RoundTimeout the round is cut at that deadline — the offers that already
+// arrived are used, peers still in flight are counted as stragglers (their
+// late replies are discarded through the buffered channel). With a nil
+// policy (or no RoundTimeout) gather waits for every peer, exactly the
+// pre-deadline semantics.
+func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPolicy,
+	call func(id string, p Peer) ([]Offer, error)) []Offer {
+
+	type reply struct {
+		offers []Offer
+		ok     bool
+	}
+	ch := make(chan reply, len(peers))
 	for id, p := range peers {
-		wg.Add(1)
 		go func(id string, p Peer) {
-			defer wg.Done()
 			var ss *obs.Span
 			if round != nil {
-				ss = round.Child("rfb " + id)
+				ss = round.Child(label + " " + id)
 			}
-			offers, err := p.RequestBids(rfb)
+			offers, err := call(id, p)
 			if err != nil {
 				ss.Set("error", err)
 				ss.End()
+				ch <- reply{ok: false}
 				return
 			}
 			ss.Set("offers", len(offers))
 			ss.End()
-			mu.Lock()
-			all = append(all, offers...)
-			mu.Unlock()
+			ch <- reply{offers: offers, ok: true}
 		}(id, p)
 	}
-	wg.Wait()
+	var deadline <-chan time.Time
+	if pol != nil && pol.RoundTimeout > 0 {
+		t := time.NewTimer(pol.RoundTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	var all []Offer
+	received := 0
+	for received < len(peers) {
+		select {
+		case r := <-ch:
+			received++
+			if r.ok {
+				all = append(all, r.offers...)
+			}
+		case <-deadline:
+			stragglers := len(peers) - received
+			pol.obs().stragglers.Add(int64(stragglers))
+			pol.obs().roundCuts.Inc()
+			round.Set("stragglers", stragglers)
+			received = len(peers)
+		}
+	}
 	sortOffers(all)
 	return all
 }
 
-func improveRound(req ImproveReq, peers map[string]Peer, round *obs.Span) []Offer {
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var all []Offer
-	for id, p := range peers {
-		wg.Add(1)
-		go func(id string, p Peer) {
-			defer wg.Done()
-			var ss *obs.Span
-			if round != nil {
-				ss = round.Child("improve " + id)
-			}
-			offers, err := p.ImproveBids(req)
-			if err != nil {
-				ss.Set("error", err)
-				ss.End()
-				return
-			}
-			ss.Set("offers", len(offers))
-			ss.End()
-			mu.Lock()
-			all = append(all, offers...)
-			mu.Unlock()
-		}(id, p)
-	}
-	wg.Wait()
-	sortOffers(all)
-	return all
+func fanOut(rfb RFB, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) []Offer {
+	return gather("rfb", peers, round, pol, func(id string, p Peer) ([]Offer, error) {
+		return p.RequestBids(rfb)
+	})
+}
+
+func improveRound(req ImproveReq, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) []Offer {
+	return gather("improve", peers, round, pol, func(id string, p Peer) ([]Offer, error) {
+		return p.ImproveBids(req)
+	})
 }
 
 // roundSpan opens the span for one protocol round; a no-op when sp is nil.
@@ -147,15 +157,21 @@ func bestPrices(offers []Offer) map[string]float64 {
 
 // SealedBid is the paper's default bidding protocol: one RFB round, sellers
 // answer with offers, the buyer picks winners.
-type SealedBid struct{}
+type SealedBid struct {
+	// Policy, when set, bounds the round with a straggler-cutting deadline.
+	Policy *FaultPolicy
+}
 
 // Name implements Protocol.
 func (SealedBid) Name() string { return "sealed-bid" }
 
+// WithPolicy implements FaultAware.
+func (p SealedBid) WithPolicy(pol *FaultPolicy) Protocol { p.Policy = pol; return p }
+
 // Collect implements Protocol.
-func (SealedBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
+func (p SealedBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
 	round := roundSpan(sp, 1)
-	offers := fanOut(rfb, peers, round)
+	offers := fanOut(rfb, peers, round, p.Policy)
 	round.End()
 	return offers, 1, nil
 }
@@ -165,10 +181,15 @@ func (SealedBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer,
 // descending auction).
 type IterativeBid struct {
 	MaxRounds int // total rounds including the initial sealed round
+	// Policy, when set, bounds every round with a straggler-cutting deadline.
+	Policy *FaultPolicy
 }
 
 // Name implements Protocol.
 func (p IterativeBid) Name() string { return "iterative-bid" }
+
+// WithPolicy implements FaultAware.
+func (p IterativeBid) WithPolicy(pol *FaultPolicy) Protocol { p.Policy = pol; return p }
 
 // Collect implements Protocol.
 func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
@@ -177,13 +198,13 @@ func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]O
 		rounds = 3
 	}
 	round := roundSpan(sp, 1)
-	offers := fanOut(rfb, peers, round)
+	offers := fanOut(rfb, peers, round, p.Policy)
 	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
 		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: bestPrices(offers)}
 		round = roundSpan(sp, used+1)
-		improved := improveRound(req, peers, round)
+		improved := improveRound(req, peers, round, p.Policy)
 		round.End()
 		var changed bool
 		offers, changed = mergeImproved(offers, improved)
@@ -200,10 +221,15 @@ func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]O
 type Bargain struct {
 	MaxRounds int
 	Buyer     BuyerStrategy
+	// Policy, when set, bounds every round with a straggler-cutting deadline.
+	Policy *FaultPolicy
 }
 
 // Name implements Protocol.
 func (p Bargain) Name() string { return "bargain" }
+
+// WithPolicy implements FaultAware.
+func (p Bargain) WithPolicy(pol *FaultPolicy) Protocol { p.Policy = pol; return p }
 
 // Collect implements Protocol.
 func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
@@ -216,7 +242,7 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer,
 		buyer = AnchoredBuyer{}
 	}
 	round := roundSpan(sp, 1)
-	offers := fanOut(rfb, peers, round)
+	offers := fanOut(rfb, peers, round, p.Policy)
 	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
@@ -227,7 +253,7 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer,
 		}
 		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: best, Target: target}
 		round = roundSpan(sp, used+1)
-		improved := improveRound(req, peers, round)
+		improved := improveRound(req, peers, round, p.Policy)
 		round.End()
 		var changed bool
 		offers, changed = mergeImproved(offers, improved)

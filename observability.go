@@ -80,15 +80,26 @@ func (p *Plan) Stats() core.Stats { return p.res.Stats }
 
 // MetricsSnapshot renders every federation metric as sorted "name value"
 // lines: per-buyer counters and timing histograms ("buyer.<id>.*"),
-// per-seller pricing counters ("node.<id>.*"), and the per-link network
-// traffic ("net.<from>-><to>"). Counters accumulate for the lifetime of the
-// federation; network lines reset with ResetNetworkStats.
+// per-seller pricing counters ("node.<id>.*"), fault-tolerance counters and
+// breaker gauges ("fault.*", present once EnableFaultTolerance is on), and
+// the per-link network traffic ("net.<from>-><to>"). With a chaos plan
+// installed the injected-fault tallies follow as "net.chaos.*" lines.
+// Counters accumulate for the lifetime of the federation; network lines
+// reset with ResetNetworkStats, chaos lines with SetFaultPlan.
 func (f *Federation) MetricsSnapshot() string {
 	var b strings.Builder
 	b.WriteString(f.metrics.Snapshot())
 	for _, t := range f.NetworkStatsByPeer() {
 		fmt.Fprintf(&b, "%-46s messages=%d bytes=%d\n",
 			"net."+t.From+"->"+t.To, t.Messages, t.Bytes)
+	}
+	if f.net.FaultPlanActive() {
+		s := f.ChaosStats()
+		fmt.Fprintf(&b, "%-46s %d\n", "net.chaos.crashes", s.Crashes)
+		fmt.Fprintf(&b, "%-46s %d\n", "net.chaos.drops", s.Drops)
+		fmt.Fprintf(&b, "%-46s %d\n", "net.chaos.flap_rejects", s.FlapRejects)
+		fmt.Fprintf(&b, "%-46s %d\n", "net.chaos.injected_errors", s.InjectedErrors)
+		fmt.Fprintf(&b, "%-46s %d\n", "net.chaos.slow_calls", s.SlowCalls)
 	}
 	return b.String()
 }

@@ -166,6 +166,7 @@ type Federation struct {
 	net     *netsim.Network
 	nodes   map[string]*Node
 	metrics *obs.Metrics
+	faults  *trading.FaultPolicy
 }
 
 // NewFederation creates an empty federation over the schema.
@@ -189,7 +190,7 @@ func (f *Federation) AddNode(id string, opts ...NodeOption) (*Node, error) {
 	if _, dup := f.nodes[id]; dup {
 		return nil, fmt.Errorf("qtrade: duplicate node %q", id)
 	}
-	cfg := node.Config{ID: id, Schema: f.schema.sch, Metrics: f.metrics}
+	cfg := node.Config{ID: id, Schema: f.schema.sch, Metrics: f.metrics, Faults: f.faults}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -334,7 +335,7 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: f.faults}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -442,7 +443,7 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: f.faults}
 	for _, o := range opts {
 		o(&cfg)
 	}
