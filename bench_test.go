@@ -159,6 +159,17 @@ func BenchmarkExpF12Chaos(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF13Parallel regenerates F13: seller-side parallel bid pricing
+// with the negotiation-scoped price cache. The reported metric is the
+// wall-clock speedup of the 6-query RFB at 8 workers over the serial path.
+func BenchmarkExpF13Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F13ParallelPricing([]int{2, 6}, []int{1, 2, 4, 8}, 2, int64(i))
+		lastRowMetric(b, tab, 3, "speedup_6q_8w")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

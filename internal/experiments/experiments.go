@@ -689,6 +689,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F10", func() *Table { return F10Subcontract(seed) }},
 		{"F11", func() *Table { return F11AggPushdown(seed) }},
 		{"F12", func() *Table { return F12Chaos(4, seed) }},
+		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6}, []int{1, 2, 4, 8}, 2, seed) }},
 	}
 }
 
@@ -709,6 +710,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F10", func() *Table { return F10Subcontract(seed) }},
 		{"F11", func() *Table { return F11AggPushdown(seed) }},
 		{"F12", func() *Table { return F12Chaos(20, seed) }},
+		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6, 12}, []int{1, 2, 4, 8}, 5, seed) }},
 	}
 }
 

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/obs"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+	"qtrade/internal/workload"
+)
+
+// F13ParallelPricing measures parallel seller bid pricing (extension): one
+// seller of a chain federation receives RFBs of growing width and prices
+// them with a sweep of worker-pool sizes. The seller holds four of the six
+// relations only partially, so every query's pricing includes subcontract
+// probes — nested negotiations whose network calls sleep for real
+// (SlowNodeMS on both peers) — making per-query pricing latency-bound the
+// way a deployed federation's is; fanning the queries (and their probes)
+// across the pool overlaps those waits. Reported per (width, workers):
+// wall-clock per RFB, speedup over the serial path, and the price-cache hit
+// rate of a repeated-iteration run (the buyer's iteration loop re-requests
+// overlapping query sets under fresh RFBIDs).
+func F13ParallelPricing(widths, workerCounts []int, reps int, seed int64) *Table {
+	t := &Table{
+		ID:     "F13",
+		Title:  "parallel bid pricing + price cache (chain seller, slow subcontract peers)",
+		Header: []string{"queries", "workers", "price_ms", "speedup", "cache_hit_pct", "offers"},
+	}
+	for _, width := range widths {
+		serialMS := 0.0
+		for _, workers := range workerCounts {
+			// Timing pass: cache disabled so every rep pays full pricing.
+			seller, opts := f13Seller(workers, -1, nil, seed)
+			var offers int
+			t0 := time.Now()
+			for r := 0; r < reps; r++ {
+				rfb := f13RFB(opts, width, fmt.Sprintf("f13-%dq-%dw-r%d", width, workers, r))
+				out, err := seller.RequestBids(rfb)
+				if err != nil {
+					panic(err)
+				}
+				offers = len(out)
+			}
+			ms := float64(time.Since(t0).Microseconds()) / 1000 / float64(reps)
+			if workers == 1 {
+				serialMS = ms
+			}
+			speedup := 1.0
+			if serialMS > 0 && ms > 0 {
+				speedup = serialMS / ms
+			}
+			// Cache pass: a second iteration re-requests the same queries
+			// under a fresh RFBID, as the buyer's iteration loop does.
+			m := obs.NewMetrics()
+			cached, copts := f13Seller(workers, 0, m, seed)
+			for it := 0; it < 2; it++ {
+				if _, err := cached.RequestBids(f13RFB(copts, width, fmt.Sprintf("f13c-%dq-%dw-i%d", width, workers, it))); err != nil {
+					panic(err)
+				}
+			}
+			hits := m.Counter("node.n1.pricecache_hits").Value()
+			misses := m.Counter("node.n1.pricecache_misses").Value()
+			hitPct := 0.0
+			if hits+misses > 0 {
+				hitPct = 100 * float64(hits) / float64(hits+misses)
+			}
+			t.Rows = append(t.Rows, []string{
+				d(int64(width)), d(int64(workers)),
+				f2(ms), f2(speedup), f1(hitPct), d(int64(offers)),
+			})
+		}
+	}
+	return t
+}
+
+// f13Seller builds the chain federation and rebuilds seller n1 with
+// subcontracting enabled, the given worker count and price-cache setting
+// (cacheSize as in node.Config.PriceCacheSize). Every call to the two
+// subcontract peers sleeps a fixed 4 ms, and statistics are pre-built
+// everywhere so timings compare pure pricing, not lazy stats construction.
+func f13Seller(workers, cacheSize int, m *obs.Metrics, seed int64) (*node.Node, workload.ChainOptions) {
+	opts := workload.ChainOptions{
+		Relations: 6, RowsPerRel: 240, Parts: 2, Nodes: 3,
+		Seed: seed, SkipOracleData: true,
+	}
+	f := workload.NewChain(opts)
+	f.Net.SetFaultPlan(&netsim.FaultPlan{
+		Seed:       seed,
+		SlowNodeMS: map[string]float64{"n0": 4, "n2": 4},
+	})
+	src := f.Nodes["n1"]
+	n := node.New(node.Config{
+		ID: "n1", Schema: f.Schema,
+		Workers: workers, PriceCacheSize: cacheSize, Metrics: m,
+		SubcontractPeers: func() map[string]trading.Peer {
+			return map[string]trading.Peer{
+				"n0": f.Net.Peer("n1", "n0"),
+				"n2": f.Net.Peer("n1", "n2"),
+			}
+		},
+	})
+	for _, table := range src.Store().Tables() {
+		def, _ := f.Schema.Table(table)
+		for _, pid := range src.Store().PartIDs(table) {
+			if _, err := n.Store().CreateFragment(def, pid); err != nil {
+				panic(err)
+			}
+			var rows []value.Row
+			if err := src.Store().Scan(table, pid, nil, func(r value.Row) bool {
+				rows = append(rows, r)
+				return true
+			}); err != nil {
+				panic(err)
+			}
+			if err := n.Store().Insert(table, pid, rows...); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, peer := range []*node.Node{n, f.Nodes["n0"], f.Nodes["n2"]} {
+		for _, table := range peer.Store().Tables() {
+			if _, err := peer.Store().TableStats(table); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return n, opts
+}
+
+// f13RFB requests width distinct chain queries (differing range filters).
+func f13RFB(opts workload.ChainOptions, width int, rfbID string) trading.RFB {
+	rfb := trading.RFB{RFBID: rfbID, BuyerID: "n0"}
+	for q := 0; q < width; q++ {
+		rfb.Queries = append(rfb.Queries, trading.QueryRequest{
+			QID: fmt.Sprintf("q%d", q),
+			SQL: workload.ChainQuery(opts, 0.35+0.04*float64(q)),
+		})
+	}
+	return rfb
+}

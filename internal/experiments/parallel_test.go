@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestF13ParallelSmoke is the fixed-seed parallel-pricing smoke test. It
+// deliberately asserts nothing about wall-clock speedup — that is the
+// benchmark's job — only structure, that the repeated-iteration cache pass
+// hits, and (the load-bearing invariant) that worker count leaves the
+// offers byte-identical to the serial path.
+func TestF13ParallelSmoke(t *testing.T) {
+	tab := F13ParallelPricing([]int{2, 4}, []int{1, 4}, 1, 7)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	col := func(name string) int {
+		for i, h := range tab.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	for _, row := range tab.Rows {
+		hitPct, err := strconv.ParseFloat(row[col("cache_hit_pct")], 64)
+		if err != nil {
+			t.Fatalf("cache_hit_pct: %v", err)
+		}
+		if hitPct < 50 {
+			t.Fatalf("repeated iteration hit only %.1f%% of pricings\n%v", hitPct, row)
+		}
+		if offers, _ := strconv.Atoi(row[col("offers")]); offers == 0 {
+			t.Fatalf("seller offered nothing\n%v", row)
+		}
+	}
+
+	// Byte-identity: the parallel, cached seller must produce exactly the
+	// offers of the serial, uncached one for the same RFB.
+	serial, opts := f13Seller(1, -1, nil, 7)
+	want, err := serial.RequestBids(f13RFB(opts, 4, "f13-ident"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial seller offered nothing")
+	}
+	par, popts := f13Seller(8, 0, nil, 7)
+	got, err := par.RequestBids(f13RFB(popts, 4, "f13-ident"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("parallel offers diverge from serial:\nserial:   %+v\nparallel: %+v", want, got)
+	}
+}

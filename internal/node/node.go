@@ -13,6 +13,7 @@ package node
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"qtrade/internal/localopt"
 	"qtrade/internal/obs"
 	"qtrade/internal/plan"
+	"qtrade/internal/pricecache"
 	"qtrade/internal/rewrite"
 	"qtrade/internal/sqlparse"
 	"qtrade/internal/storage"
@@ -63,6 +65,17 @@ type Config struct {
 	// (and its BreakerSet) with the buyer so failures seen on either side
 	// open the same breaker.
 	Faults *trading.FaultPolicy
+	// Workers bounds how many of an RFB's queries this node prices
+	// concurrently (0 = runtime.GOMAXPROCS(0), 1 = strictly serial). The
+	// bound is node-wide — concurrent RFBs share it — and subcontract
+	// probing joins the same pool rather than spawning its own.
+	Workers int
+	// PriceCacheSize caps the node's price cache: memoized rewrite + DP
+	// pricing results keyed by canonical query text and the store's
+	// data/stats/cost-model versions, so repeated negotiation iterations
+	// re-price only through the strategy module. 0 = 256 entries, negative
+	// disables the cache.
+	PriceCacheSize int
 	// Tracer and Metrics attach observability at construction time; both may
 	// stay nil (the default) for zero-overhead operation, and either can be
 	// swapped later with Node.SetObs.
@@ -77,16 +90,27 @@ type standingOffer struct {
 
 // Node is one autonomous federation member. It implements netsim.Service.
 type Node struct {
-	cfg   Config
-	store *storage.Store
+	cfg      Config
+	store    *storage.Store
+	pool     chan struct{}     // pricing-worker semaphore, cap = cfg.Workers
+	prices   *pricecache.Cache // nil when caching is disabled
+	costHash uint64            // fingerprint of cfg.Cost for cache keys
 
 	mu           sync.Mutex
 	standing     map[string]map[string]*standingOffer // rfbID -> offerID
 	rfbOrder     []string                             // standing eviction order
 	subcontracts map[string]*subcontract              // offerID -> assembly
-	offerSeq     atomic.Int64
-	active       atomic.Int64 // executions in flight, for load-aware pricing
+	flights      map[string]map[string]*flight        // rfbID -> query key
+	active       atomic.Int64                         // executions in flight, for load-aware pricing
 	obsv         atomic.Pointer[nodeObs]
+}
+
+// flight is one single-flight pricing of a (RFB, query) pair: the first
+// caller computes offers, every concurrent or later caller for the same pair
+// waits on done and shares them.
+type flight struct {
+	done   chan struct{}
+	offers []trading.Offer
 }
 
 // maxStandingRFBs bounds the per-node negotiation state: a long-lived seller
@@ -108,15 +132,46 @@ func New(cfg Config) *Node {
 	if cfg.MaxOffersPerQuery <= 0 {
 		cfg.MaxOffersPerQuery = 24
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PriceCacheSize == 0 {
+		cfg.PriceCacheSize = 256
+	}
 	n := &Node{
 		cfg:          cfg,
 		store:        storage.NewStore(),
+		pool:         make(chan struct{}, cfg.Workers),
+		costHash:     pricecache.HashModel(cfg.Cost),
 		standing:     map[string]map[string]*standingOffer{},
 		subcontracts: map[string]*subcontract{},
+		flights:      map[string]map[string]*flight{},
+	}
+	if cfg.PriceCacheSize > 0 {
+		n.prices = pricecache.New(cfg.PriceCacheSize)
 	}
 	n.SetObs(cfg.Tracer, cfg.Metrics)
 	return n
 }
+
+// acquire claims a pricing-pool slot, blocking until one frees up. Slot
+// holders never block on the pool again (nested joiners use tryAcquire), so
+// acquisition cannot deadlock.
+func (n *Node) acquire() { n.pool <- struct{}{} }
+
+// tryAcquire claims a slot only if one is free: nested work (subcontract
+// probing under a held slot) either wins extra parallelism or runs inline on
+// its parent's slot.
+func (n *Node) tryAcquire() bool {
+	select {
+	case n.pool <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Node) release() { <-n.pool }
 
 // ID returns the node id.
 func (n *Node) ID() string { return n.cfg.ID }
@@ -140,6 +195,13 @@ func (n *Node) Load() float64 { return float64(n.active.Load()) }
 // each requested query against local fragments, run the modified DP to price
 // every optimal partial result, add view-based offers, and price everything
 // through the strategy module.
+//
+// The per-query pricing fans out across the node's worker pool; offer order
+// and offer ids are deterministic regardless of scheduling, so any worker
+// count produces byte-identical output. The call is also idempotent: each
+// (RFBID, query) is priced at most once while the RFB's state is alive, so a
+// fault-layer retry racing an abandoned slow first attempt coalesces with it
+// and a repeated RFBID returns the same offers.
 func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 	ob := n.obsv.Load()
 	var sp *obs.Span
@@ -150,9 +212,28 @@ func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 		sp.Set("queries", len(rfb.Queries))
 		defer sp.End()
 	}
+	results := make([][]trading.Offer, len(rfb.Queries))
+	if n.cfg.Workers == 1 || len(rfb.Queries) <= 1 {
+		for i, qr := range rfb.Queries {
+			n.acquire()
+			results[i] = n.offersForShared(rfb, qr, sp, ob)
+			n.release()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, qr := range rfb.Queries {
+			wg.Add(1)
+			go func(i int, qr trading.QueryRequest) {
+				defer wg.Done()
+				n.acquire()
+				defer n.release()
+				results[i] = n.offersForShared(rfb, qr, sp, ob)
+			}(i, qr)
+		}
+		wg.Wait()
+	}
 	var out []trading.Offer
-	for _, qr := range rfb.Queries {
-		offers := n.offersFor(rfb, qr, sp, ob)
+	for _, offers := range results {
 		if ob != nil && len(offers) == 0 {
 			ob.rewritesEmpty.Inc()
 		}
@@ -174,6 +255,7 @@ func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 				delete(n.subcontracts, so.offer.OfferID)
 			}
 			delete(n.standing, evicted)
+			delete(n.flights, evicted)
 		}
 	}
 	for i := range out {
@@ -181,6 +263,50 @@ func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 	}
 	n.mu.Unlock()
 	return out, nil
+}
+
+// offersForShared single-flights offersFor per (RFBID, query): the first
+// caller prices, concurrent duplicates wait on the flight and share its
+// offers, and completed flights are kept until the RFB's state is dropped
+// (EndNegotiation or standing eviction) so a retried RFBID stays
+// byte-identical without re-pricing.
+func (n *Node) offersForShared(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span, ob *nodeObs) []trading.Offer {
+	qkey := qr.QID + "\x00" + qr.SQL
+	n.mu.Lock()
+	m := n.flights[rfb.RFBID]
+	if m == nil {
+		m = map[string]*flight{}
+		n.flights[rfb.RFBID] = m
+	}
+	if f := m[qkey]; f != nil {
+		n.mu.Unlock()
+		<-f.done
+		if ob != nil {
+			ob.pricingsCoalesced.Inc()
+		}
+		return f.offers
+	}
+	f := &flight{done: make(chan struct{})}
+	m[qkey] = f
+	n.mu.Unlock()
+	f.offers = n.offersFor(rfb, qr, sp, ob)
+	close(f.done)
+	return f.offers
+}
+
+// offerIDGen mints deterministic offer ids scoped to one (node, RFB, query):
+// "<node>/<rfbID>/<qid>/<kind><seq>". Ids depend only on the query's own
+// pricing walk — never on cross-query scheduling — so parallel pricing emits
+// offers byte-identical to the serial path, and a coalesced retry sees
+// exactly the ids the first attempt minted.
+type offerIDGen struct {
+	prefix string
+	n      int
+}
+
+func (g *offerIDGen) next(kind string) string {
+	g.n++
+	return fmt.Sprintf("%s/%s%d", g.prefix, kind, g.n)
 }
 
 // offersFor prices one requested query. sp is the node's request-bids span
@@ -191,39 +317,88 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 		return nil
 	}
 	plan.Qualify(sel, n.cfg.Schema)
-	var t0 time.Time
-	if ob != nil {
-		t0 = time.Now()
+	ids := &offerIDGen{prefix: n.cfg.ID + "/" + rfb.RFBID + "/" + qr.QID}
+
+	// The rewrite + modified-DP walk is the expensive part of pricing; look
+	// it up in the price cache first. The key carries the store's data epoch,
+	// stats version and the cost-model hash, so any mutation since the entry
+	// was computed makes it unreachable — a hit is never stale. Strategy
+	// pricing below always runs fresh: margins adapt between rounds.
+	var (
+		rw  *rewrite.Rewritten
+		res *localopt.Result
+		key pricecache.Key
+	)
+	cached := false
+	if n.prices != nil {
+		key = pricecache.Key{
+			SQL:          sel.SQL(),
+			Epoch:        n.store.Epoch(),
+			StatsVersion: n.store.StatsVersion(),
+			CostHash:     n.costHash,
+		}
+		if e, ok := n.prices.Get(key); ok {
+			rw, res, cached = e.Rewritten, e.Result, true
+			if ob != nil {
+				ob.cacheHits.Inc()
+			}
+		} else if ob != nil {
+			ob.cacheMisses.Inc()
+		}
 	}
-	rwSp := sp.Child("rewrite")
-	rw, err := rewrite.ForSeller(sel, n.cfg.Schema, n.store)
-	rwSp.End()
-	if ob != nil {
-		ob.rewriteMS.Observe(msSince(t0))
+	if cached {
+		dpSp := sp.Child("dp-pricing")
+		dpSp.Set("cache", "hit")
+		dpSp.Set("partials", len(res.Partials))
+		dpSp.End()
+	} else {
+		var t0 time.Time
+		if ob != nil {
+			t0 = time.Now()
+		}
+		rwSp := sp.Child("rewrite")
+		rw, err = rewrite.ForSeller(sel, n.cfg.Schema, n.store)
+		if err != nil {
+			rwSp.Set("error", err)
+		}
+		rwSp.End()
+		if ob != nil {
+			ob.rewriteMS.Observe(msSince(t0))
+		}
+		if err != nil {
+			return nil
+		}
+		if ob != nil {
+			t0 = time.Now()
+		}
+		dpSp := sp.Child("dp-pricing")
+		if n.prices != nil {
+			dpSp.Set("cache", "miss")
+		}
+		res, err = localopt.Optimize(rw.Sel, n.cfg.Schema, n.store, n.cfg.Cost)
+		if err != nil {
+			dpSp.Set("error", err)
+		} else {
+			dpSp.Set("partials", len(res.Partials))
+		}
+		dpSp.End()
+		if ob != nil {
+			ob.dpMS.Observe(msSince(t0))
+		}
+		if err != nil {
+			return nil
+		}
+		if n.prices != nil {
+			if ev := n.prices.Put(key, pricecache.Entry{Rewritten: rw, Result: res}); ev > 0 && ob != nil {
+				ob.cacheEvictions.Add(int64(ev))
+			}
+		}
 	}
-	if err != nil {
-		rwSp.Set("error", err)
-		return nil
-	}
-	if ob != nil {
-		t0 = time.Now()
-	}
-	dpSp := sp.Child("dp-pricing")
-	res, err := localopt.Optimize(rw.Sel, n.cfg.Schema, n.store, n.cfg.Cost)
-	dpSp.End()
-	if ob != nil {
-		ob.dpMS.Observe(msSince(t0))
-	}
-	if err != nil {
-		dpSp.Set("error", err)
-		return nil
-	}
-	dpSp.Set("partials", len(res.Partials))
 	origHasAgg := sel.HasAggregates() || len(sel.GroupBy) > 0
 	fullBindings := len(sel.From)
 	var cands []trading.Offer
 	for _, p := range res.Partials {
-		o, err := n.offerFromPartial(rfb, qr, rw, p, origHasAgg, fullBindings)
+		o, err := n.offerFromPartial(rfb, qr, rw, p, origHasAgg, fullBindings, ids)
 		if err != nil {
 			continue
 		}
@@ -233,7 +408,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 		ob.offersPriced.Add(int64(len(cands)))
 	}
 	if !n.cfg.DisableViews {
-		vo := n.viewOffers(rfb, qr, sel)
+		vo := n.viewOffers(rfb, qr, sel, ids)
 		if ob != nil {
 			ob.offersView.Add(int64(len(vo)))
 		}
@@ -241,7 +416,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 	}
 	if n.cfg.SubcontractPeers != nil && rfb.Depth == 0 {
 		scSp := sp.Child("subcontract")
-		so := n.subcontractOffers(rfb, qr, sel, rw, res.Partials, scSp)
+		so := n.subcontractOffers(rfb, qr, sel, rw, res.Partials, scSp, ids)
 		scSp.End()
 		if ob != nil {
 			ob.offersSubcontract.Add(int64(len(so)))
@@ -249,7 +424,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 		cands = append(cands, so...)
 	}
 	if origHasAgg && rw.Stripped && len(rw.Dropped) == 0 && !n.cfg.DisableAggPush {
-		if o, ok := n.partialAggOffer(rfb, qr, sel, rw, res); ok {
+		if o, ok := n.partialAggOffer(rfb, qr, sel, rw, res, ids); ok {
 			if ob != nil {
 				ob.offersPartialAgg.Inc()
 			}
@@ -270,7 +445,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 	return cands
 }
 
-func (n *Node) offerFromPartial(rfb trading.RFB, qr trading.QueryRequest, rw *rewrite.Rewritten, p *localopt.Partial, origHasAgg bool, fullBindings int) (trading.Offer, error) {
+func (n *Node) offerFromPartial(rfb trading.RFB, qr trading.QueryRequest, rw *rewrite.Rewritten, p *localopt.Partial, origHasAgg bool, fullBindings int, ids *offerIDGen) (trading.Offer, error) {
 	cols, err := OutputSpecs(p.SQL, n.cfg.Schema, n.store)
 	if err != nil {
 		return trading.Offer{}, err
@@ -295,7 +470,7 @@ func (n *Node) offerFromPartial(rfb trading.RFB, qr trading.QueryRequest, rw *re
 	props := n.valuation(p.Cost, p.Rows, p.Bytes, coverage)
 	truth := trading.TruthScore(n.cfg.Weights, props)
 	o := trading.Offer{
-		OfferID:  fmt.Sprintf("%s/%s/o%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1)),
+		OfferID:  ids.next("o"),
 		RFBID:    rfb.RFBID,
 		QID:      qr.QID,
 		SellerID: n.cfg.ID,
@@ -315,7 +490,7 @@ func (n *Node) offerFromPartial(rfb trading.RFB, qr trading.QueryRequest, rw *re
 // aggregation query whose aggregates decompose (aggregate pushdown): the
 // buyer merges group totals from disjoint fragments instead of
 // re-aggregating raw rows, cutting the shipped volume to one row per group.
-func (n *Node) partialAggOffer(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, res *localopt.Result) (trading.Offer, bool) {
+func (n *Node) partialAggOffer(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, res *localopt.Result, ids *offerIDGen) (trading.Offer, bool) {
 	d, ok := plan.DecomposeAggregates(sel)
 	if !ok || res.Best == nil {
 		return trading.Offer{}, false
@@ -358,7 +533,7 @@ func (n *Node) partialAggOffer(rfb trading.RFB, qr trading.QueryRequest, sel *sq
 		bindings = append(bindings, tr.Binding())
 	}
 	return trading.Offer{
-		OfferID:    fmt.Sprintf("%s/%s/a%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1)),
+		OfferID:    ids.next("a"),
 		RFBID:      rfb.RFBID,
 		QID:        qr.QID,
 		SellerID:   n.cfg.ID,
@@ -375,7 +550,7 @@ func (n *Node) partialAggOffer(rfb trading.RFB, qr trading.QueryRequest, sel *sq
 
 // viewOffers is the seller predicates analyser (§3.5): offer matching
 // materialized views at the (small) cost of scanning and shipping them.
-func (n *Node) viewOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select) []trading.Offer {
+func (n *Node) viewOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, ids *offerIDGen) []trading.Offer {
 	var out []trading.Offer
 	for _, m := range views.BestMatches(sel, n.store) {
 		v := n.store.View(m.View.Name)
@@ -403,7 +578,7 @@ func (n *Node) viewOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlpars
 			parts[strings.ToLower(tr.Binding())] = n.cfg.Schema.PartitionIDs(tr.Name)
 		}
 		out = append(out, trading.Offer{
-			OfferID:  fmt.Sprintf("%s/%s/v%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1)),
+			OfferID:  ids.next("v"),
 			RFBID:    rfb.RFBID,
 			QID:      qr.QID,
 			SellerID: n.cfg.ID,
@@ -511,6 +686,7 @@ func (n *Node) EndNegotiation(rfbID string, wonOfferIDs map[string]bool) {
 		}
 	}
 	delete(n.standing, rfbID)
+	delete(n.flights, rfbID)
 }
 
 // Execute evaluates a purchased query and ships the answer. The SQL is

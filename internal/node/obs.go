@@ -23,6 +23,11 @@ type nodeObs struct {
 	rewritesEmpty     *obs.Counter // queries the node could not bid on
 	execs             *obs.Counter // purchased answers executed
 
+	cacheHits         *obs.Counter // price-cache hits (rewrite+DP skipped)
+	cacheMisses       *obs.Counter // price-cache misses (full pricing ran)
+	cacheEvictions    *obs.Counter // price-cache LRU evictions
+	pricingsCoalesced *obs.Counter // duplicate (RFB, query) pricings single-flighted
+
 	rewriteMS *obs.Histogram
 	dpMS      *obs.Histogram
 	execMS    *obs.Histogram
@@ -47,6 +52,10 @@ func (n *Node) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 		offersWon:         m.Counter(p + "offers_won"),
 		rewritesEmpty:     m.Counter(p + "rewrites_empty"),
 		execs:             m.Counter(p + "execs"),
+		cacheHits:         m.Counter(p + "pricecache_hits"),
+		cacheMisses:       m.Counter(p + "pricecache_misses"),
+		cacheEvictions:    m.Counter(p + "pricecache_evictions"),
+		pricingsCoalesced: m.Counter(p + "pricings_coalesced"),
 		rewriteMS:         m.Histogram(p + "rewrite_ms"),
 		dpMS:              m.Histogram(p + "dp_ms"),
 		execMS:            m.Histogram(p + "exec_ms"),

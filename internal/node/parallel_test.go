@@ -1,0 +1,305 @@
+package node
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"qtrade/internal/obs"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+)
+
+// telcoNodeCfg builds a myconos-style node with a configurable Config and a
+// larger data set, so pricing is nontrivial for the parallel/cache tests.
+func telcoNodeCfg(t *testing.T, edit func(*Config)) *Node {
+	t.Helper()
+	sch := telcoSchema()
+	cfg := Config{ID: "myconos", Schema: sch}
+	if edit != nil {
+		edit(&cfg)
+	}
+	n := New(cfg)
+	cust, _ := sch.Table("customer")
+	inv, _ := sch.Table("invoiceline")
+	if _, err := n.Store().CreateFragment(cust, "myconos"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Store().CreateFragment(inv, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := n.Store().Insert("customer", "myconos",
+			value.Row{value.NewInt(int64(i)), value.NewStr(fmt.Sprintf("c%d", i)), value.NewStr("Myconos")},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Store().Insert("invoiceline", "p0",
+			value.Row{value.NewInt(int64(100 + i)), value.NewInt(1), value.NewInt(int64(i)), value.NewFloat(float64(i % 13))},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// wideRFB requests several distinct queries in one RFB.
+func wideRFB(rfbID string, width int) trading.RFB {
+	rfb := trading.RFB{RFBID: rfbID, BuyerID: "athens"}
+	for i := 0; i < width; i++ {
+		rfb.Queries = append(rfb.Queries, trading.QueryRequest{
+			QID: fmt.Sprintf("q%d", i),
+			SQL: fmt.Sprintf(`SELECT c.office, SUM(i.charge) AS total
+				FROM customer c, invoiceline i
+				WHERE c.custid = i.custid AND c.custid < %d
+				GROUP BY c.office`, 5+5*i),
+		})
+	}
+	return rfb
+}
+
+// TestParallelMatchesSerial pins that worker count and caching change only
+// wall-clock time: offers (ids, prices, props, order) must be byte-identical
+// between the serial/no-cache path and the parallel/cached path.
+func TestParallelMatchesSerial(t *testing.T) {
+	rfb := wideRFB("rfb-par", 6)
+	serial := telcoNodeCfg(t, func(c *Config) { c.Workers = 1; c.PriceCacheSize = -1 })
+	want, err := serial.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial node offered nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		par := telcoNodeCfg(t, func(c *Config) { c.Workers = workers })
+		got, err := par.RequestBids(rfb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d offers differ from serial path:\nserial:   %+v\nparallel: %+v",
+				workers, want, got)
+		}
+	}
+}
+
+// TestPriceCacheHitsAcrossIterations pins the cache's purpose: the buyer
+// re-requests overlapping query sets under fresh RFBIDs each negotiation
+// iteration, and the second iteration must hit.
+func TestPriceCacheHitsAcrossIterations(t *testing.T) {
+	m := obs.NewMetrics()
+	n := telcoNodeCfg(t, func(c *Config) { c.Metrics = m })
+	first, err := n.RequestBids(wideRFB("rfb-i1", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Counter("node.myconos.pricecache_hits").Value(); v != 0 {
+		t.Fatalf("cold cache reported %d hits", v)
+	}
+	second, err := n.RequestBids(wideRFB("rfb-i2", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Counter("node.myconos.pricecache_hits").Value(); v != 3 {
+		t.Fatalf("second iteration hit %d times, want 3", v)
+	}
+	// Same pricing work, so everything but the RFB-scoped ids must agree.
+	if len(first) != len(second) {
+		t.Fatalf("offer counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		a.OfferID, a.RFBID = "", ""
+		b.OfferID, b.RFBID = "", ""
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cached offer %d differs:\nfirst:  %+v\nsecond: %+v", i, a, b)
+		}
+	}
+}
+
+// TestPriceCacheInvalidatedByMutation is the stale-price test: inserting
+// rows between iterations must miss the cache and re-price against the new
+// statistics, matching a cold node holding the same final data.
+func TestPriceCacheInvalidatedByMutation(t *testing.T) {
+	m := obs.NewMetrics()
+	n := telcoNodeCfg(t, func(c *Config) { c.Metrics = m })
+	stale, err := n.RequestBids(wideRFB("rfb-m1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := func(node *Node) {
+		for i := 0; i < 200; i++ {
+			if err := node.Store().Insert("invoiceline", "p0",
+				value.Row{value.NewInt(int64(1000 + i)), value.NewInt(2), value.NewInt(int64(i % 40)), value.NewFloat(1)},
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	grow(n)
+	fresh, err := n.RequestBids(wideRFB("rfb-m2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Counter("node.myconos.pricecache_hits").Value(); v != 0 {
+		t.Fatalf("mutation must invalidate the cache, got %d hits", v)
+	}
+	samePrices := true
+	for i := range fresh {
+		if fresh[i].Price != stale[i].Price || fresh[i].Props.Rows != stale[i].Props.Rows {
+			samePrices = false
+		}
+	}
+	if samePrices {
+		t.Fatal("post-mutation offers identical to pre-mutation ones: stale prices served")
+	}
+	// A cold node holding the same final data must price identically.
+	cold := telcoNodeCfg(t, nil)
+	grow(cold)
+	want, err := cold.RequestBids(wideRFB("rfb-m2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, fresh) {
+		t.Fatalf("re-priced offers differ from cold pricing:\ncold: %+v\ngot:  %+v", want, fresh)
+	}
+}
+
+// countingStrategy prices truthfully but counts Price calls, and can block
+// the first pricing mid-flight to stage a retry race.
+type countingStrategy struct {
+	mu      sync.Mutex
+	calls   int
+	started chan struct{} // closed when the first Price call begins
+	gate    chan struct{} // first Price call blocks until this closes
+	blocked bool
+}
+
+func (s *countingStrategy) Price(_ string, truth float64) float64 {
+	s.mu.Lock()
+	s.calls++
+	first := s.calls == 1
+	s.mu.Unlock()
+	if first && s.gate != nil {
+		close(s.started)
+		<-s.gate
+	}
+	return truth
+}
+
+func (s *countingStrategy) Improve(_ string, current, _, _ float64) (float64, bool) {
+	return current, false
+}
+
+func (s *countingStrategy) Observe(string, bool) {}
+
+func (s *countingStrategy) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// TestRequestBidsIdempotentRepeat pins that re-sending an already-answered
+// RFBID returns the same offers without re-pricing.
+func TestRequestBidsIdempotentRepeat(t *testing.T) {
+	m := obs.NewMetrics()
+	strat := &countingStrategy{}
+	n := telcoNodeCfg(t, func(c *Config) {
+		c.Metrics = m
+		c.Strategy = strat
+	})
+	rfb := wideRFB("rfb-idem", 3)
+	first, err := n.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priced := strat.count()
+	again, err := n.RequestBids(rfb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("repeated RFBID returned different offers")
+	}
+	if strat.count() != priced {
+		t.Fatalf("repeat re-priced: %d strategy calls after, %d before", strat.count(), priced)
+	}
+	if v := m.Counter("node.myconos.pricings_coalesced").Value(); v != 3 {
+		t.Fatalf("coalesced %d pricings, want 3", v)
+	}
+}
+
+// TestRetryCoalescesWithAbandonedAttempt stages the fault-layer race from
+// trading's retry machinery: a retry of the same RFB arrives while the
+// abandoned first attempt is still pricing. The retry must coalesce onto the
+// in-flight work — equal offers, the pricing work done once.
+func TestRetryCoalescesWithAbandonedAttempt(t *testing.T) {
+	// Reference: how many Price calls one clean pricing of the RFB costs.
+	ref := &countingStrategy{}
+	refNode := telcoNodeCfg(t, func(c *Config) { c.Strategy = ref })
+	rfb := wideRFB("rfb-race", 1)
+	if _, err := refNode.RequestBids(rfb); err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.NewMetrics()
+	strat := &countingStrategy{started: make(chan struct{}), gate: make(chan struct{})}
+	n := telcoNodeCfg(t, func(c *Config) {
+		c.Metrics = m
+		c.Strategy = strat
+	})
+	type res struct {
+		offers []trading.Offer
+		err    error
+	}
+	firstCh := make(chan res, 1)
+	go func() {
+		offers, err := n.RequestBids(rfb)
+		firstCh <- res{offers, err}
+	}()
+	<-strat.started // first attempt is mid-pricing and now stalled
+	retryCh := make(chan res, 1)
+	go func() {
+		offers, err := n.RequestBids(rfb)
+		retryCh <- res{offers, err}
+	}()
+	// Give the retry a moment to reach the single-flight gate, then release
+	// the stalled first attempt.
+	time.Sleep(10 * time.Millisecond)
+	close(strat.gate)
+	first, retry := <-firstCh, <-retryCh
+	if first.err != nil || retry.err != nil {
+		t.Fatalf("errors: %v / %v", first.err, retry.err)
+	}
+	if !reflect.DeepEqual(first.offers, retry.offers) {
+		t.Fatalf("retry and first attempt diverged:\nfirst: %+v\nretry: %+v", first.offers, retry.offers)
+	}
+	if got, want := strat.count(), ref.count(); got != want {
+		t.Fatalf("pricing ran %d strategy calls, a single run costs %d: work duplicated", got, want)
+	}
+	if v := m.Counter("node.myconos.pricings_coalesced").Value(); v != 1 {
+		t.Fatalf("coalesced %d pricings, want 1", v)
+	}
+}
+
+// TestEndNegotiationDropsFlightState pins that a finished negotiation frees
+// its single-flight memo: a later identical RFBID re-prices from scratch.
+func TestEndNegotiationDropsFlightState(t *testing.T) {
+	strat := &countingStrategy{}
+	n := telcoNodeCfg(t, func(c *Config) { c.Strategy = strat })
+	rfb := wideRFB("rfb-end", 2)
+	if _, err := n.RequestBids(rfb); err != nil {
+		t.Fatal(err)
+	}
+	priced := strat.count()
+	n.EndNegotiation(rfb.RFBID, nil)
+	if _, err := n.RequestBids(rfb); err != nil {
+		t.Fatal(err)
+	}
+	if strat.count() == priced {
+		t.Fatal("flight state survived EndNegotiation; RFB was not re-priced")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
@@ -36,8 +37,15 @@ type subRemote struct {
 // the missing partitions (a nested, depth-limited negotiation) and — when
 // the gap can be covered — offers the *complete* relation extent, priced as
 // its own cost plus the purchased offers.
+//
+// Each relation's probe is an independent nested negotiation, so they join
+// the node's pricing pool: a probe runs on a spare worker slot when one is
+// free and inline on the caller's slot otherwise. Offer ids are minted
+// up front in relation order and results are collected positionally, so the
+// output is byte-identical no matter how the probes were scheduled.
+//
 // sp is the parent span for the nested negotiation (nil when tracing is off).
-func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, partials []*localopt.Partial, sp *obs.Span) []trading.Offer {
+func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select, rw *rewrite.Rewritten, partials []*localopt.Partial, sp *obs.Span, ids *offerIDGen) []trading.Offer {
 	peers := n.cfg.SubcontractPeers()
 	if len(peers) == 0 {
 		return nil
@@ -51,7 +59,13 @@ func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *
 		}
 		peers = guarded
 	}
-	var out []trading.Offer
+	type probe struct {
+		tr                      sqlparse.TableRef
+		own                     *localopt.Partial
+		held, missing, relevant []string
+		offerID                 string
+	}
+	var probes []probe
 	for _, tr := range sel.From {
 		b := strings.ToLower(tr.Binding())
 		held, isKept := rw.Parts[b]
@@ -74,9 +88,34 @@ func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *
 		if own == nil {
 			continue
 		}
-		offer, ok := n.buildComposite(rfb, qr, sel, tr, own, held, missing, relevant, peers, sp)
-		if ok {
-			out = append(out, offer)
+		probes = append(probes, probe{tr: tr, own: own, held: held,
+			missing: missing, relevant: relevant, offerID: ids.next("s")})
+	}
+	results := make([]*trading.Offer, len(probes))
+	var wg sync.WaitGroup
+	for i, pr := range probes {
+		run := func(i int, pr probe) {
+			if offer, ok := n.buildComposite(rfb, qr, sel, pr.tr, pr.own,
+				pr.held, pr.missing, pr.relevant, peers, sp, pr.offerID); ok {
+				results[i] = &offer
+			}
+		}
+		if len(probes) > 1 && n.tryAcquire() {
+			wg.Add(1)
+			go func(i int, pr probe) {
+				defer wg.Done()
+				defer n.release()
+				run(i, pr)
+			}(i, pr)
+		} else {
+			run(i, pr)
+		}
+	}
+	wg.Wait()
+	var out []trading.Offer
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
 		}
 	}
 	return out
@@ -86,7 +125,7 @@ func (n *Node) subcontractOffers(rfb trading.RFB, qr trading.QueryRequest, sel *
 // composite offer.
 func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sqlparse.Select,
 	tr sqlparse.TableRef, own *localopt.Partial, held, missing, relevant []string,
-	peers map[string]trading.Peer, sp *obs.Span) (trading.Offer, bool) {
+	peers map[string]trading.Peer, sp *obs.Span, offerID string) (trading.Offer, bool) {
 
 	base := localopt.SubqueryFor(sel, []string{tr.Binding()})
 	subRFB := trading.RFB{
@@ -196,7 +235,6 @@ func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sql
 		props.RowsPerSec = float64(props.Rows) / (props.TotalTime / 1000)
 	}
 	truth := trading.TruthScore(n.cfg.Weights, props) + totalPurchased
-	offerID := fmt.Sprintf("%s/%s/s%d", n.cfg.ID, rfb.RFBID, n.offerSeq.Add(1))
 
 	n.mu.Lock()
 	n.subcontracts[offerID] = sc

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"qtrade/internal/catalog"
 	"qtrade/internal/expr"
@@ -43,10 +44,19 @@ type MaterializedView struct {
 
 // Store is a node's local storage: fragments keyed by table and partition,
 // plus materialized views.
+//
+// The store versions itself with two monotonic counters: Epoch ticks on any
+// change to what data is held (fragment creation, inserts, new views) and
+// StatsVersion ticks whenever the statistics a cost estimate could read may
+// have changed. Price caches key entries by both so a cached estimate can
+// never outlive the state it was computed from.
 type Store struct {
 	mu    sync.RWMutex
 	frags map[string]map[string]*Fragment // lower(table) -> partID
 	views map[string]*MaterializedView    // lower(name)
+
+	epoch  atomic.Int64
+	statsV atomic.Int64
 }
 
 // NewStore returns an empty store.
@@ -70,8 +80,18 @@ func (s *Store) CreateFragment(def *catalog.TableDef, partID string) (*Fragment,
 	}
 	f := &Fragment{Def: def, PartID: partID}
 	m[partID] = f
+	s.epoch.Add(1)
 	return f, nil
 }
+
+// Epoch reports the store's data version: it increases whenever the set of
+// held data changes (fragments created, rows inserted, views added).
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
+
+// StatsVersion reports the statistics version: it increases whenever
+// statistics visible to cost estimation may have changed (inserts
+// invalidating lazily built stats, or synthetic stats installed).
+func (s *Store) StatsVersion() int64 { return s.statsV.Load() }
 
 // Insert appends rows to a fragment, validating width and column kinds
 // (NULLs are allowed in any column).
@@ -99,6 +119,8 @@ func (s *Store) Insert(table, partID string, rows ...value.Row) error {
 		f.Rows = append(f.Rows, r)
 	}
 	f.Stats = nil // invalidate
+	s.epoch.Add(1)
+	s.statsV.Add(1)
 	return nil
 }
 
@@ -186,11 +208,22 @@ func (s *Store) Scan(table, partID string, pred expr.Expr, fn func(value.Row) bo
 	return nil
 }
 
-// FragmentStats returns (building lazily) statistics for a fragment.
+// FragmentStats returns (building lazily) statistics for a fragment. Built
+// stats are immutable until the next insert invalidates them, so the common
+// already-built case takes only the read lock — concurrent pricing workers
+// sharing a store do not serialize on it.
 func (s *Store) FragmentStats(table, partID string) (*stats.TableStats, error) {
+	s.mu.RLock()
+	f := s.lookup(table, partID)
+	if f != nil && f.Stats != nil {
+		ts := f.Stats
+		s.mu.RUnlock()
+		return ts, nil
+	}
+	s.mu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f := s.lookup(table, partID)
+	f = s.lookup(table, partID)
 	if f == nil {
 		return nil, fmt.Errorf("storage: no fragment %s/%s", table, partID)
 	}
@@ -210,6 +243,7 @@ func (s *Store) SetFragmentStats(table, partID string, ts *stats.TableStats) err
 		return fmt.Errorf("storage: no fragment %s/%s", table, partID)
 	}
 	f.Stats = ts
+	s.statsV.Add(1)
 	return nil
 }
 
@@ -243,6 +277,7 @@ func (s *Store) AddView(v *MaterializedView) error {
 		v.Stats = stats.FromRows(def, v.Rows)
 	}
 	s.views[key] = v
+	s.epoch.Add(1)
 	return nil
 }
 

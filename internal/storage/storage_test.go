@@ -219,3 +219,42 @@ func TestTotalRows(t *testing.T) {
 		t.Fatalf("total rows: %d", s.TotalRows())
 	}
 }
+
+func TestEpochAndStatsVersionTick(t *testing.T) {
+	s := NewStore()
+	if s.Epoch() != 0 || s.StatsVersion() != 0 {
+		t.Fatalf("fresh store versions %d/%d, want 0/0", s.Epoch(), s.StatsVersion())
+	}
+	if _, err := s.CreateFragment(custDef(), "corfu"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("CreateFragment must tick the epoch, got %d", s.Epoch())
+	}
+	if err := s.Insert("customer", "corfu", row(1, "Corfu")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 2 || s.StatsVersion() != 1 {
+		t.Fatalf("Insert must tick both versions, got %d/%d", s.Epoch(), s.StatsVersion())
+	}
+	// Lazily building stats reads unchanged rows: no version tick.
+	if _, err := s.FragmentStats("customer", "corfu"); err != nil {
+		t.Fatal(err)
+	}
+	if s.StatsVersion() != 1 {
+		t.Fatalf("lazy stats build must not tick, got %d", s.StatsVersion())
+	}
+	if err := s.SetFragmentStats("customer", "corfu", &stats.TableStats{Rows: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if s.StatsVersion() != 2 {
+		t.Fatalf("SetFragmentStats must tick the stats version, got %d", s.StatsVersion())
+	}
+	if err := s.AddView(&MaterializedView{Name: "v", SQL: "SELECT custid FROM customer",
+		Columns: custDef().Columns[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 3 {
+		t.Fatalf("AddView must tick the epoch, got %d", s.Epoch())
+	}
+}

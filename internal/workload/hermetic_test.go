@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"qtrade/internal/value"
+)
+
+// fingerprint renders every node's stored rows deterministically.
+func fingerprint(t *testing.T, f *Federation) string {
+	t.Helper()
+	var ids []string
+	for id := range f.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		st := f.Nodes[id].Store()
+		for _, table := range st.Tables() {
+			for _, pid := range st.PartIDs(table) {
+				fmt.Fprintf(&b, "%s/%s/%s:\n", id, table, pid)
+				err := st.Scan(table, pid, nil, func(r value.Row) bool {
+					fmt.Fprintf(&b, "%v\n", r)
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestGeneratorsHermetic pins that every generator owns its seeded random
+// source: two builds with the same options are identical even while another
+// goroutine churns the shared global math/rand source (as concurrent
+// benchmarks or parallel pricing tests legitimately may).
+func TestGeneratorsHermetic(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rand.Int() // churn the global source
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	builds := map[string]func() *Federation{
+		"telco": func() *Federation {
+			return NewTelco(TelcoOptions{CustomersPerOffice: 8, LinesPerCustomer: 2, Seed: 42})
+		},
+		"chain": func() *Federation {
+			return NewChain(ChainOptions{Relations: 3, RowsPerRel: 60, Parts: 2, Nodes: 3, Seed: 42})
+		},
+		"star": func() *Federation {
+			return NewStar(StarOptions{Dims: 2, FactRows: 80, DimRows: 10, FactParts: 2, Nodes: 3, Seed: 42})
+		},
+	}
+	for name, build := range builds {
+		a, b := fingerprint(t, build()), fingerprint(t, build())
+		if a == "" {
+			t.Fatalf("%s: empty federation fingerprint", name)
+		}
+		if a != b {
+			t.Fatalf("%s generator is not hermetic: same seed produced different data", name)
+		}
+	}
+
+	// Query generators must be pure functions of options too.
+	copts := ChainOptions{Relations: 4, RowsPerRel: 100}
+	if ChainQuery(copts, 0.3) != ChainQuery(copts, 0.3) {
+		t.Fatal("ChainQuery is nondeterministic")
+	}
+	sopts := StarOptions{Dims: 3, FactRows: 100}
+	if StarQuery(sopts, 0.4) != StarQuery(sopts, 0.4) {
+		t.Fatal("StarQuery is nondeterministic")
+	}
+}

@@ -1,7 +1,13 @@
 // Package workload builds the synthetic federations and query workloads the
 // experiments run on: the paper's telco customer-care scenario (§1) and
 // parameterized chain-join federations for the scalability, partitioning and
-// replication sweeps. All generators are seeded and deterministic.
+// replication sweeps.
+//
+// All generators are hermetic: each owns an explicitly seeded *rand.Rand
+// (never the shared global math/rand source), so identical options produce
+// identical federations regardless of what other code — including the
+// parallel pricing benchmarks — draws from the global source concurrently.
+// TestGeneratorsHermetic pins this.
 package workload
 
 import (

@@ -309,6 +309,31 @@ func TestNetworkStatsByPeerMatchesAggregate(t *testing.T) {
 	}
 }
 
+// TestMetricsSnapshotPriceCache pins that the sellers' price-cache counters
+// surface through Federation.MetricsSnapshot (and hence qtsql's \metrics):
+// repeating an optimization re-requests the same seller queries, so the
+// second run must record cache hits.
+func TestMetricsSnapshotPriceCache(t *testing.T) {
+	fed := buildFed(t, WithWorkers(4), WithPriceCache(128))
+	for i := 0; i < 2; i++ {
+		if _, err := fed.Optimize("hq", totalsQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := fed.MetricsSnapshot()
+	var hits, misses int
+	for _, id := range []string{"corfu", "myconos", "athens"} {
+		hits += metricValue(t, snap, "node."+id+".pricecache_hits")
+		misses += metricValue(t, snap, "node."+id+".pricecache_misses")
+	}
+	if misses == 0 {
+		t.Fatalf("no cache misses counted on the first run in:\n%s", snap)
+	}
+	if hits == 0 {
+		t.Fatalf("repeated optimization reported a zero cache hit rate in:\n%s", snap)
+	}
+}
+
 // BenchmarkOptimizeTelcoTraced is BenchmarkOptimizeTelco with tracing on;
 // comparing the two bounds the tracing overhead. The untraced benchmark is
 // the guard that the instrumentation itself stays free when disabled (see

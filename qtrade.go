@@ -159,6 +159,22 @@ func WithoutViewOffers() NodeOption {
 	return func(c *node.Config) { c.DisableViews = true }
 }
 
+// WithWorkers bounds how many of an RFB's queries the node prices
+// concurrently (0 = one per CPU, 1 = strictly serial). Any worker count
+// produces byte-identical offers; it only changes wall-clock time.
+func WithWorkers(n int) NodeOption {
+	return func(c *node.Config) { c.Workers = n }
+}
+
+// WithPriceCache sizes the node's price cache, which memoizes the rewrite +
+// DP half of bid pricing across negotiation iterations (entries are keyed by
+// the store's data/stats versions, so they can never go stale). size 0 keeps
+// the default (256 entries); negative disables caching. Hit/miss/eviction
+// counts appear in Federation.MetricsSnapshot as node.<id>.pricecache_*.
+func WithPriceCache(size int) NodeOption {
+	return func(c *node.Config) { c.PriceCacheSize = size }
+}
+
 // Federation is a simulated federation of autonomous nodes connected by an
 // in-process network with full message accounting.
 type Federation struct {
