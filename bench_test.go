@@ -170,6 +170,18 @@ func BenchmarkExpF13Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF14TraceOverhead regenerates F14: distributed-tracing cost
+// under Never / Ratio(0.1) / Always sampling. The reported metric is the
+// Always-policy overhead percent over the Never baseline at the widest
+// chain (the Ratio(0.1) production default sits between the two).
+func BenchmarkExpF14TraceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F14TraceOverhead([]int{3, 5}, 4, int64(i))
+		lastRowMetric(b, tab, 3, "always_overhead_pct")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

@@ -35,7 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metricsDump := flag.Bool("metrics", false, "print the metrics snapshot after the run")
-	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F13; default all")
+	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F14; default all")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -69,7 +69,7 @@ func main() {
 		printed++
 	}
 	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F13)\n", exps)
+		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F14)\n", exps)
 		os.Exit(1)
 	}
 

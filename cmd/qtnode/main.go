@@ -17,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -43,6 +45,8 @@ func main() {
 	slow := flag.Duration("slow", 0, "delay added to every served call (simulate a straggling seller)")
 	seed := flag.Int64("seed", 1, "data seed (must match across the federation)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics (Prometheus text), /debug/pprof/* and /trace/last (empty = no exposition)")
+	peersFlag := flag.String("peers", "", "subcontract peers as id=addr,... — enables §3.5 Depth-1 subcontracting over net/rpc (peers are dialed lazily)")
 	flag.Parse()
 
 	setupLogging(*logLevel)
@@ -68,12 +72,33 @@ func main() {
 		strat = trading.NewCompetitive()
 	}
 	metrics := obs.NewMetrics()
-	n := node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat, Metrics: metrics})
+	cfg := node.Config{ID: *id, Schema: fed.Schema, Strategy: strat, Metrics: metrics}
+	if *peersFlag != "" {
+		dialer, err := newPeerDialer(*peersFlag)
+		if err != nil {
+			slog.Error("bad -peers", "err", err)
+			os.Exit(1)
+		}
+		cfg.SubcontractPeers = dialer.peers
+		cfg.SubcontractFetch = dialer.fetch
+	}
+	n := node.New(cfg)
 	copyStore(src, n)
 	if !*invoices {
 		// Rebuild without the invoice replica: keep only customer data.
-		n = node.New(node.Config{ID: *id, Schema: fed.Schema, Strategy: strat, Metrics: metrics})
+		n = node.New(cfg)
 		copyTable(src, n, "customer")
+	}
+	traceLog := obs.NewTraceLog()
+	n.SetTraceLog(traceLog)
+
+	if *obsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*obsAddr, obs.Handler(metrics, traceLog)); err != nil {
+				slog.Error("obs server failed", "addr", *obsAddr, "err", err)
+			}
+		}()
+		slog.Info("obs exposition", "addr", *obsAddr)
 	}
 
 	var svc netsim.Service = n
@@ -108,12 +133,12 @@ type slowService struct {
 	delay time.Duration
 }
 
-func (s slowService) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+func (s slowService) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
 	time.Sleep(s.delay)
 	return s.Service.RequestBids(rfb)
 }
 
-func (s slowService) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+func (s slowService) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
 	time.Sleep(s.delay)
 	return s.Service.ImproveBids(req)
 }
@@ -126,6 +151,66 @@ func (s slowService) Award(aw trading.Award) error {
 func (s slowService) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	time.Sleep(s.delay)
 	return s.Service.Execute(req)
+}
+
+// peerDialer lazily dials subcontract peers by id so a federation of qtnode
+// processes can start in any order: a peer is connected on first use, and
+// an unreachable peer simply stays out of the subcontracting pool.
+type peerDialer struct {
+	mu    sync.Mutex
+	addrs map[string]string
+	conns map[string]*netsim.RPCPeer
+}
+
+func newPeerDialer(spec string) (*peerDialer, error) {
+	d := &peerDialer{addrs: map[string]string{}, conns: map[string]*netsim.RPCPeer{}}
+	for _, ent := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("want id=addr, got %q", ent)
+		}
+		d.addrs[id] = addr
+	}
+	return d, nil
+}
+
+func (d *peerDialer) peer(id string) (*netsim.RPCPeer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.conns[id]; ok {
+		return p, nil
+	}
+	addr, ok := d.addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown subcontract peer %q", id)
+	}
+	p, err := netsim.DialPeerTimeout(addr, id, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	d.conns[id] = p
+	return p, nil
+}
+
+func (d *peerDialer) peers() map[string]trading.Peer {
+	out := map[string]trading.Peer{}
+	for id := range d.addrs {
+		p, err := d.peer(id)
+		if err != nil {
+			slog.Warn("subcontract peer unavailable", "peer", id, "err", err)
+			continue
+		}
+		out[id] = p
+	}
+	return out
+}
+
+func (d *peerDialer) fetch(peerID string, req trading.ExecReq) (trading.ExecResp, error) {
+	p, err := d.peer(peerID)
+	if err != nil {
+		return trading.ExecResp{}, err
+	}
+	return p.Execute(req)
 }
 
 // setupLogging installs a text slog handler at the requested level.

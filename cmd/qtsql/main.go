@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -40,7 +41,8 @@ import (
 type session struct {
 	metrics *obs.Metrics
 	tracing bool
-	last    *obs.Tracer // spans of the most recent traced query
+	last    *obs.Tracer   // spans of the most recent traced query
+	tlog    *obs.TraceLog // feeds /trace/last when -obs-addr is set
 
 	// attach/detach point tracing at the federation's seller nodes
 	// (no-ops in remote mode, where sellers live in other processes).
@@ -115,7 +117,24 @@ func (s *session) end(tr *obs.Tracer) {
 		return
 	}
 	s.attach(nil)
+	if roots := tr.Roots(); len(roots) > 0 {
+		s.tlog.Record(roots[0].Payload())
+	}
 	fmt.Print(tr.RenderText())
+}
+
+// serveObs starts the HTTP exposition surface when addr is non-empty.
+func (s *session) serveObs(addr string) {
+	if addr == "" {
+		return
+	}
+	s.tlog = obs.NewTraceLog()
+	go func() {
+		if err := http.ListenAndServe(addr, obs.Handler(s.metrics, s.tlog)); err != nil {
+			slog.Error("obs server failed", "addr", addr, "err", err)
+		}
+	}()
+	fmt.Printf("serving /metrics, /debug/pprof and /trace/last on %s\n", addr)
 }
 
 func main() {
@@ -124,12 +143,13 @@ func main() {
 	connect := flag.String("connect", "", "comma-separated id=addr pairs of qtnode servers; empty = in-process simulation")
 	callTimeout := flag.Duration("call-timeout", 0, "remote mode: bound on dialing and on every RPC to a qtnode (0 = none)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
+	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics, /debug/pprof/* and /trace/last (empty = no exposition)")
 	flag.Parse()
 
 	setupLogging(*logLevel)
 
 	if *connect != "" {
-		runRemote(*offices, *connect, *callTimeout)
+		runRemote(*offices, *connect, *callTimeout, *obsAddr)
 		return
 	}
 
@@ -141,6 +161,7 @@ func main() {
 	s := &session{metrics: obs.NewMetrics()}
 	s.attach = func(tr *obs.Tracer) { f.SetObs(tr, s.metrics) }
 	s.attach(nil) // metrics-only steady state
+	s.serveObs(*obsAddr)
 	slog.Info("federation ready", "offices", *offices, "customers", *customers)
 	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
 	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\stats", "\nodes",`)
@@ -234,7 +255,7 @@ func main() {
 		if analyze {
 			st := exec.NewRunStats()
 			ex := &exec.Executor{Store: f.Nodes[f.Buyer].Store(), Stats: st}
-			if _, err := core.ExecuteResult(f.Comm(), ex, res); err != nil {
+			if _, err := core.ExecuteResultTraced(f.Comm(), ex, res, tr); err != nil {
 				fmt.Printf("execution error: %v\n", err)
 				s.end(tr)
 				continue
@@ -249,7 +270,7 @@ func main() {
 			continue
 		}
 		ex := &exec.Executor{Store: f.Nodes[f.Buyer].Store()}
-		out, err := core.ExecuteResult(f.Comm(), ex, res)
+		out, err := core.ExecuteResultTraced(f.Comm(), ex, res, tr)
 		s.end(tr)
 		if err != nil {
 			fmt.Printf("execution error: %v\n", err)
@@ -296,7 +317,7 @@ func sortedPairs(net *netsim.Network) []pairLine {
 // runRemote drives a federation of qtnode processes over net/rpc. With a
 // positive callTimeout both dialing and every RPC are bounded, so a hung or
 // unreachable qtnode fails fast instead of stalling the shell.
-func runRemote(offices, connect string, callTimeout time.Duration) {
+func runRemote(offices, connect string, callTimeout time.Duration, obsAddr string) {
 	sch := workload.TelcoSchema(strings.Split(offices, ","))
 	peers := map[string]trading.Peer{}
 	rpcPeers := map[string]*netsim.RPCPeer{}
@@ -331,6 +352,7 @@ func runRemote(offices, connect string, callTimeout time.Duration) {
 		},
 	}
 	s := &session{metrics: obs.NewMetrics(), attach: func(*obs.Tracer) {}}
+	s.serveObs(obsAddr)
 	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics" or "\quit"`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -362,7 +384,7 @@ func runRemote(offices, connect string, callTimeout time.Duration) {
 		}
 		if analyze {
 			st := exec.NewRunStats()
-			if _, err := core.ExecuteResult(comm, &exec.Executor{Stats: st}, res); err != nil {
+			if _, err := core.ExecuteResultTraced(comm, &exec.Executor{Stats: st}, res, tr); err != nil {
 				fmt.Printf("execution error: %v\n", err)
 				s.end(tr)
 				continue
@@ -376,7 +398,7 @@ func runRemote(offices, connect string, callTimeout time.Duration) {
 			s.end(tr)
 			continue
 		}
-		out, err := core.ExecuteResult(comm, &exec.Executor{}, res)
+		out, err := core.ExecuteResultTraced(comm, &exec.Executor{}, res, tr)
 		s.end(tr)
 		if err != nil {
 			fmt.Printf("execution error: %v\n", err)

@@ -30,7 +30,7 @@ type Comm interface {
 // node outsources a query only when some remote offer beats local
 // execution). node.Node satisfies it.
 type LocalSeller interface {
-	RequestBids(trading.RFB) ([]trading.Offer, error)
+	RequestBids(trading.RFB) (trading.BidReply, error)
 }
 
 // Config configures the buyer side of the QT optimizer.
@@ -76,10 +76,16 @@ type Config struct {
 	// pre-fault-tolerance behaviour.
 	Faults *trading.FaultPolicy
 	// Tracer, when set, records one span tree for this optimization:
-	// iterations → negotiation rounds → per-seller RFBs, plus plan
+	// iterations → negotiation rounds → per-seller RFBs (with the sellers'
+	// own pricing subtrees grafted under them when sampled), plus plan
 	// generation and the predicates analyser. Nil (the default) costs
 	// nothing.
 	Tracer *obs.Tracer
+	// Sampling decides which optimizations carry a distributed trace context
+	// across the federation. Nil means obs.SampleAlways. Ignored without a
+	// Tracer. Share one *Sampling across optimizations: it owns the seeded
+	// rng for obs.SampleRatio.
+	Sampling *obs.Sampling
 	// Metrics, when set, receives buyer-side counters/histograms under
 	// "buyer.<id>.". Nil costs nothing.
 	Metrics *obs.Metrics
@@ -113,6 +119,11 @@ type Result struct {
 	Candidate Candidate
 	Stats     Stats
 	Pool      []trading.Offer
+	// BuyerID and TraceCtx carry the optimization's identity and sampling
+	// decision into execution, so ExecuteResultTraced extends the same
+	// federation-wide trace across the purchased-answer fetches.
+	BuyerID  string
+	TraceCtx obs.TraceContext
 }
 
 var rfbSeq atomic.Int64
@@ -125,12 +136,12 @@ type countingPeer struct {
 	empty *atomic.Int64
 }
 
-func (p countingPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
-	offers, err := p.Peer.RequestBids(rfb)
-	if err == nil && len(offers) == 0 {
+func (p countingPeer) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
+	rep, err := p.Peer.RequestBids(rfb)
+	if err == nil && len(rep.Offers) == 0 {
 		p.empty.Add(1)
 	}
-	return offers, err
+	return rep, err
 }
 
 // buyerObs bundles the buyer's pre-resolved instruments (all nil-safe).
@@ -213,6 +224,24 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	root.Set("sql", sql)
 	defer root.End()
 
+	// Head sampling decides up front whether this negotiation ships trace
+	// data across the federation; tail sampling (Sampling.TailSlower) keeps
+	// collection on regardless and drops the finished trace below if the
+	// negotiation turned out fast. Without a tracer there is nothing to graft
+	// onto, so no context is minted and the wire stays trace-free.
+	head := true
+	var tctx obs.TraceContext
+	if cfg.Tracer != nil {
+		head = cfg.Sampling.SampleHead()
+		if cfg.Sampling.Collect(head) {
+			// Mint the context only when collecting: an unsampled negotiation
+			// keeps the zero TraceContext, so its messages gob-encode (and
+			// account) byte-identically to a federation without tracing.
+			tctx = obs.TraceContext{TraceID: obs.NewTraceID(cfg.ID), Sampled: true}
+			root.Set("trace_id", tctx.TraceID)
+		}
+	}
+
 	stats := Stats{}
 	pool := map[string]trading.Offer{} // seller+sql -> cheapest offer
 	bestPrice := map[string]float64{}  // qid -> best price seen
@@ -246,6 +275,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		rfb := trading.RFB{
 			RFBID:   fmt.Sprintf("%s-rfb%d", cfg.ID, rfbSeq.Add(1)),
 			BuyerID: cfg.ID,
+			Trace:   tctx,
 			Queries: queries,
 		}
 		stats.RFBsSent += len(peers)
@@ -261,10 +291,16 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		stats.ProtocolRounds += rounds
 		if cfg.Self != nil {
 			selfSp := itSp.Child("self-bids")
-			own, err := cfg.Self.RequestBids(rfb)
+			selfRFB := rfb
+			if selfRFB.Trace.Sampled {
+				selfRFB.Trace.Parent = selfSp.ID()
+			}
+			sentAt := time.Now()
+			rep, err := cfg.Self.RequestBids(selfRFB)
 			if err == nil {
-				selfSp.Set("offers", len(own))
-				offers = append(offers, own...)
+				selfSp.Set("offers", len(rep.Offers))
+				selfSp.Graft(rep.Trace, sentAt, time.Now())
+				offers = append(offers, rep.Offers...)
 			}
 			selfSp.End()
 		}
@@ -375,28 +411,69 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	stats.EmptyBidResponses = int(emptyReplies.Load())
 	stats.WallTime = time.Since(start)
 	bo.optimizeMS.Observe(float64(stats.WallTime.Microseconds()) / 1000)
+	if cfg.Tracer != nil && !cfg.Sampling.Keep(head, stats.WallTime) {
+		// Tail sampling: the negotiation was fast and head sampling said no —
+		// drop the collected trace instead of retaining it.
+		root.End()
+		cfg.Tracer.DropRoot(root)
+	}
 	finalPool := make([]trading.Offer, 0, len(pool))
 	for _, o := range pool {
 		finalPool = append(finalPool, o)
 	}
 	sort.Slice(finalPool, func(i, j int) bool { return finalPool[i].OfferID < finalPool[j].OfferID })
-	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool}, nil
+	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool,
+		BuyerID: cfg.ID, TraceCtx: tctx}, nil
 }
 
 // ExecuteResult runs the winning plan: Remote leaves are fetched from their
 // sellers through comm, local operators run on the buyer's executor. store
 // may be nil when the plan has no local scans.
 func ExecuteResult(comm Comm, localExec *exec.Executor, res *Result) (*exec.Result, error) {
+	return ExecuteResultTraced(comm, localExec, res, nil)
+}
+
+// ExecuteResultTraced is ExecuteResult recording the execution on tr: a root
+// execute span with one fetch child per remote leaf, under which a sampled
+// seller's execution subtree (including its subcontract fetches) is grafted.
+// The sampling decision is the one minted at optimization time
+// (res.TraceCtx), so one negotiation stays one trace end to end. A nil
+// tracer is exactly ExecuteResult.
+func ExecuteResultTraced(comm Comm, localExec *exec.Executor, res *Result, tr *obs.Tracer) (*exec.Result, error) {
+	var root *obs.Span
+	if tr != nil {
+		root = tr.Start(res.BuyerID, "execute")
+		root.Set("sql", res.SQL)
+		defer root.End()
+	}
+	return executeUnder(comm, localExec, res, root)
+}
+
+// executeUnder runs the winning plan with every remote fetch recorded as a
+// child of root (nil root = untraced, no context stamped on the wire).
+func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Span) (*exec.Result, error) {
 	ex := &exec.Executor{}
 	if localExec != nil {
 		ex.Store = localExec.Store
 		ex.Stats = localExec.Stats
 	}
+	traced := root != nil && res.TraceCtx.Sampled
 	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
-		resp, err := comm.Fetch(nodeID, trading.ExecReq{SQL: sql, OfferID: offerID})
+		fs := root.Child("fetch " + nodeID)
+		req := trading.ExecReq{SQL: sql, OfferID: offerID}
+		if traced {
+			req.Trace = res.TraceCtx
+			req.Trace.Parent = fs.ID()
+		}
+		sentAt := time.Now()
+		resp, err := comm.Fetch(nodeID, req)
 		if err != nil {
+			fs.Set("error", err)
+			fs.End()
 			return nil, err
 		}
+		fs.Graft(resp.Trace, sentAt, time.Now())
+		fs.End()
 		cols := make([]expr.ColumnID, len(resp.Cols))
 		for i, c := range resp.Cols {
 			cols[i] = expr.ColumnID{Table: c.Table, Name: c.Name}

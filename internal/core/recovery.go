@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"qtrade/internal/exec"
-	"qtrade/internal/expr"
 	"qtrade/internal/trading"
 )
 
@@ -83,7 +82,7 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 		tc := &trackingComm{inner: execComm, failed: map[string]bool{}}
 		sp := cfg.Tracer.Start(cfg.ID, "execute")
 		sp.Set("attempt", attempt)
-		out, err := executeWith(tc, localExec, res)
+		out, err := executeUnder(tc, localExec, res, sp)
 		if err == nil {
 			sp.End()
 			return out, res, attempt, nil
@@ -108,7 +107,7 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 					// tolerable (execution carries the purchased SQL).
 					_ = execComm.Award(nb.SellerID, trading.Award{RFBID: nb.RFBID, OfferID: nb.OfferID, BuyerID: cfg.ID})
 				}
-				out, err = executeWith(tc, localExec, res)
+				out, err = executeUnder(tc, localExec, res, sp)
 			}
 			if err == nil {
 				sp.End()
@@ -130,23 +129,3 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 	return nil, nil, maxRetries + 1, fmt.Errorf("core: recovery exhausted after %d retries: %w", maxRetries, lastErr)
 }
 
-// executeWith is ExecuteResult against an explicit Comm implementation.
-func executeWith(comm Comm, localExec *exec.Executor, res *Result) (*exec.Result, error) {
-	ex := &exec.Executor{}
-	if localExec != nil {
-		ex.Store = localExec.Store
-		ex.Stats = localExec.Stats
-	}
-	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
-		resp, err := comm.Fetch(nodeID, trading.ExecReq{SQL: sql, OfferID: offerID})
-		if err != nil {
-			return nil, err
-		}
-		cols := make([]expr.ColumnID, len(resp.Cols))
-		for i, c := range resp.Cols {
-			cols[i] = expr.ColumnID{Table: c.Table, Name: c.Name}
-		}
-		return &exec.Result{Cols: cols, Rows: resp.Rows}, nil
-	}
-	return ex.Run(res.Candidate.Root)
-}

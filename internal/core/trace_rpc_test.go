@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/obs"
+	"qtrade/internal/trading"
+	"qtrade/internal/value"
+)
+
+func findSpans(sp *obs.Span, name string) []*obs.Span {
+	var out []*obs.Span
+	if sp.Name() == name {
+		out = append(out, sp)
+	}
+	for _, c := range sp.Children() {
+		out = append(out, findSpans(c, name)...)
+	}
+	return out
+}
+
+func hasAttr(sp *obs.Span, key, val string) bool {
+	for _, a := range sp.Attrs() {
+		if a.Key == key && a.Val == val {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRPCTracedSubcontractFederation is the tentpole acceptance test: a
+// buyer negotiates over real TCP (net/rpc) with a corfu node that itself
+// subcontracts the missing myconos partition from a second TCP-served node
+// (§3.5, Depth 1). One trace must cover all three processes: corfu's
+// dp-pricing spans grafted under the buyer's per-seller rfb span, with
+// myconos's pricing nested inside corfu's subcontract negotiation — and at
+// execution time the same nesting for the execute/fetch chain.
+func TestRPCTracedSubcontractFederation(t *testing.T) {
+	sch := telcoSchema()
+	cust, _ := sch.Table("customer")
+
+	myc := node.New(node.Config{ID: "myconos", Schema: sch})
+	mustFrag(t, myc, cust, "myconos")
+	mustIns(t, myc, "customer", "myconos",
+		value.Row{value.NewInt(3), value.NewStr("carol"), value.NewStr("Myconos")},
+		value.Row{value.NewInt(5), value.NewStr("eve"), value.NewStr("Myconos")})
+	mycLn, err := netsim.ServeRPC("127.0.0.1:0", "myconos", myc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mycLn.Close()
+	mycPeer, err := netsim.DialPeer(mycLn.Addr().String(), "myconos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mycPeer.Close()
+
+	corfu := node.New(node.Config{
+		ID: "corfu", Schema: sch,
+		SubcontractPeers: func() map[string]trading.Peer {
+			return map[string]trading.Peer{"myconos": mycPeer}
+		},
+	})
+	mustFrag(t, corfu, cust, "corfu")
+	mustIns(t, corfu, "customer", "corfu",
+		value.Row{value.NewInt(1), value.NewStr("alice"), value.NewStr("Corfu")},
+		value.Row{value.NewInt(2), value.NewStr("bob"), value.NewStr("Corfu")})
+	corfuLn, err := netsim.ServeRPC("127.0.0.1:0", "corfu", corfu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corfuLn.Close()
+	corfuPeer, err := netsim.DialPeer(corfuLn.Addr().String(), "corfu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corfuPeer.Close()
+
+	comm := &PeerComm{
+		PeerMap: map[string]trading.Peer{"corfu": corfuPeer},
+		AwardFn: func(to string, aw trading.Award) error { return corfuPeer.Award(aw) },
+		FetchFn: func(to string, req trading.ExecReq) (trading.ExecResp, error) {
+			return corfuPeer.Execute(req)
+		},
+	}
+	tr := obs.NewTracer()
+	q := "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')"
+	res, err := Optimize(Config{ID: "buyer", Schema: sch, Tracer: tr}, comm, q)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if !res.TraceCtx.Sampled || res.TraceCtx.TraceID == "" {
+		t.Fatalf("traced optimization must mint a sampled context: %+v", res.TraceCtx)
+	}
+
+	var root *obs.Span
+	for _, r := range tr.Roots() {
+		if r.Name() == "optimize" {
+			root = r
+		}
+	}
+	if root == nil {
+		t.Fatal("no optimize root")
+	}
+	if !hasAttr(root, "trace_id", res.TraceCtx.TraceID) {
+		t.Fatalf("root missing trace_id attr %q", res.TraceCtx.TraceID)
+	}
+
+	// Corfu's pricing subtree, shipped over TCP and grafted under the
+	// buyer's "rfb corfu" span.
+	var corfuBids *obs.Span
+	for _, rb := range findSpans(root, "request-bids") {
+		if rb.Source() == "corfu" {
+			corfuBids = rb
+		}
+	}
+	if corfuBids == nil {
+		t.Fatalf("corfu request-bids not grafted into buyer tree:\n%s", tr.RenderText())
+	}
+	if !hasAttr(corfuBids, "remote", "true") {
+		t.Fatal("grafted corfu subtree must be marked remote=true")
+	}
+	if len(findSpans(corfuBids, "dp-pricing")) == 0 {
+		t.Fatalf("corfu dp-pricing spans missing under the buyer's rfb span:\n%s", tr.RenderText())
+	}
+
+	// Depth-1: myconos's pricing nested inside corfu's subcontract span —
+	// two network hops away from the buyer, still one tree.
+	subs := findSpans(corfuBids, "subcontract")
+	if len(subs) == 0 {
+		t.Fatalf("corfu subcontract span missing:\n%s", tr.RenderText())
+	}
+	var mycBids *obs.Span
+	for _, s := range subs {
+		for _, rb := range findSpans(s, "request-bids") {
+			if rb.Source() == "myconos" {
+				mycBids = rb
+			}
+		}
+	}
+	if mycBids == nil {
+		t.Fatalf("myconos pricing not nested in corfu's subcontract subtree:\n%s", tr.RenderText())
+	}
+	if len(findSpans(mycBids, "dp-pricing")) == 0 {
+		t.Fatal("myconos subtree lost its dp-pricing spans")
+	}
+
+	// Execution: the fetch to corfu grafts corfu's execute subtree, which
+	// contains its own fetch to myconos with myconos's execute inside.
+	out, err := ExecuteResultTraced(comm, &exec.Executor{}, res, tr)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, ExplainResult(res))
+	}
+	if len(out.Rows) != 4 {
+		t.Fatalf("rows: %v (want all four customers)", out.Rows)
+	}
+	var execRoot *obs.Span
+	for _, r := range tr.Roots() {
+		if r.Name() == "execute" && r.Source() == "buyer" {
+			execRoot = r
+		}
+	}
+	if execRoot == nil {
+		t.Fatalf("no buyer execute root:\n%s", tr.RenderText())
+	}
+	var corfuExec *obs.Span
+	for _, e := range findSpans(execRoot, "execute") {
+		if e.Source() == "corfu" {
+			corfuExec = e
+		}
+	}
+	if corfuExec == nil {
+		t.Fatalf("corfu execute subtree not grafted under the buyer fetch:\n%s", tr.RenderText())
+	}
+	var mycExec *obs.Span
+	for _, e := range findSpans(corfuExec, "execute") {
+		if e.Source() == "myconos" {
+			mycExec = e
+		}
+	}
+	if mycExec == nil {
+		t.Fatalf("myconos execute subtree not nested in corfu's fetch:\n%s", tr.RenderText())
+	}
+
+	// The rendered tree names every party once on a shared timeline.
+	text := tr.RenderText()
+	for _, want := range []string{"rfb corfu", "subcontract", "fetch myconos"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, text)
+		}
+	}
+}

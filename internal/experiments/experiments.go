@@ -690,6 +690,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F11", func() *Table { return F11AggPushdown(seed) }},
 		{"F12", func() *Table { return F12Chaos(4, seed) }},
 		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6}, []int{1, 2, 4, 8}, 2, seed) }},
+		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5}, 4, seed) }},
 	}
 }
 
@@ -711,6 +712,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F11", func() *Table { return F11AggPushdown(seed) }},
 		{"F12", func() *Table { return F12Chaos(20, seed) }},
 		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6, 12}, []int{1, 2, 4, 8}, 5, seed) }},
+		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5, 7}, 40, seed) }},
 	}
 }
 

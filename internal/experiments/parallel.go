@@ -42,7 +42,7 @@ func F13ParallelPricing(widths, workerCounts []int, reps int, seed int64) *Table
 				if err != nil {
 					panic(err)
 				}
-				offers = len(out)
+				offers = len(out.Offers)
 			}
 			ms := float64(time.Since(t0).Microseconds()) / 1000 / float64(reps)
 			if workers == 1 {

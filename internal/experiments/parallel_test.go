@@ -45,7 +45,7 @@ func TestF13ParallelSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(want) == 0 {
+	if len(want.Offers) == 0 {
 		t.Fatal("serial seller offered nothing")
 	}
 	par, popts := f13Seller(8, 0, nil, 7)

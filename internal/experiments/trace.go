@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"time"
+
+	"qtrade/internal/obs"
+	"qtrade/internal/workload"
+)
+
+// F14TraceOverhead measures what federation-wide distributed tracing costs
+// (extension): chain negotiations of growing width run under three sampling
+// policies — Never (the zero-cost baseline: no spans recorded, no trace
+// bytes on the wire), Ratio(0.1) (the production default), and Always.
+// Reported per (relations, policy): mean optimization wall ms, overhead
+// percent against Never at the same width, mean negotiation wire bytes
+// (seller span subtrees piggyback on BidReply, so Always pays bytes and
+// Never must match the untraced baseline exactly), and the number of traces
+// the buyer retained. The policies run interleaved — rep r of every policy
+// before rep r+1 of any — so thermal/GC drift over the sweep hits all three
+// equally, and the federation is stats-warmed up front so the comparison is
+// tracing cost, not lazy statistics construction.
+func F14TraceOverhead(widths []int, reps int, seed int64) *Table {
+	t := &Table{
+		ID:     "F14",
+		Title:  "distributed tracing overhead (chain, Never vs Ratio(0.1) vs Always)",
+		Header: []string{"relations", "policy", "opt_ms", "overhead_pct", "net_bytes", "traces"},
+	}
+	for _, width := range widths {
+		f, opts := chainFed(workload.ChainOptions{Relations: width, Nodes: 4, Seed: seed})
+		q := workload.ChainQuery(opts, 0.5)
+		type polRun struct {
+			name     string
+			sampling *obs.Sampling
+			tracer   *obs.Tracer
+			dur      time.Duration
+			bytes    int64
+		}
+		runs := []*polRun{
+			{name: "never", sampling: &obs.Sampling{Mode: obs.SampleNever}},
+			{name: "ratio0.1", sampling: &obs.Sampling{Mode: obs.SampleRatio, Ratio: 0.1, Seed: seed}},
+			{name: "always", sampling: &obs.Sampling{Mode: obs.SampleAlways}},
+		}
+		run := func(p *polRun, timed bool) {
+			cfg := f.BuyerConfig()
+			cfg.Tracer = p.tracer
+			cfg.Sampling = p.sampling
+			_, b0 := f.Net.Stats()
+			t0 := time.Now()
+			if _, err := f.Optimize(cfg, q); err != nil {
+				panic(err)
+			}
+			if timed {
+				p.dur += time.Since(t0)
+				_, b1 := f.Net.Stats()
+				p.bytes += b1 - b0
+			}
+		}
+		// Warmup: lazy per-fragment statistics, price-cache fills, allocator
+		// growth — one untimed rep per policy so all three start equal.
+		for _, p := range runs {
+			p.tracer = obs.NewTracer()
+			run(p, false)
+			p.tracer = obs.NewTracer() // warmup traces don't count
+		}
+		for r := 0; r < reps; r++ {
+			for _, p := range runs {
+				run(p, true)
+			}
+		}
+		neverMS := 0.0
+		for _, p := range runs {
+			ms := float64(p.dur.Microseconds()) / 1000 / float64(reps)
+			if p.name == "never" {
+				neverMS = ms
+			}
+			overhead := 0.0
+			if neverMS > 0 {
+				overhead = 100 * (ms - neverMS) / neverMS
+			}
+			t.Rows = append(t.Rows, []string{
+				d(int64(width)), p.name,
+				f2(ms), f1(overhead),
+				d(p.bytes / int64(reps)), d(int64(len(p.tracer.Roots()))),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestF14TraceOverheadSmoke is the fixed-seed trace-overhead smoke test. It
+// deliberately asserts nothing about wall-clock overhead — that is the
+// benchmark's job — only the deterministic columns: Never ships no trace
+// bytes and retains no traces, Always retains one trace per rep and pays
+// wire bytes for the piggybacked span payloads, Ratio sits in between.
+func TestF14TraceOverheadSmoke(t *testing.T) {
+	const reps = 6
+	tab := F14TraceOverhead([]int{3}, reps, 7)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	col := func(name string) int {
+		for i, h := range tab.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	get := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col(name)], 10, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v
+	}
+	byPolicy := map[string][]string{}
+	for _, row := range tab.Rows {
+		byPolicy[row[col("policy")]] = row
+	}
+	never, ratio, always := byPolicy["never"], byPolicy["ratio0.1"], byPolicy["always"]
+	if never == nil || ratio == nil || always == nil {
+		t.Fatalf("policies missing: %v", tab.Rows)
+	}
+	if n := get(never, "traces"); n != 0 {
+		t.Fatalf("Never retained %d traces", n)
+	}
+	if n := get(always, "traces"); n != reps {
+		t.Fatalf("Always retained %d/%d traces", n, reps)
+	}
+	if n := get(ratio, "traces"); n < 0 || n > reps {
+		t.Fatalf("Ratio retained %d traces", n)
+	}
+	nb, ab := get(never, "net_bytes"), get(always, "net_bytes")
+	if ab <= nb {
+		t.Fatalf("Always must pay trace bytes on the wire: always=%d never=%d", ab, nb)
+	}
+	if rb := get(ratio, "net_bytes"); rb < nb || rb > ab {
+		t.Fatalf("Ratio bytes outside [never, always]: %d vs [%d, %d]", rb, nb, ab)
+	}
+}

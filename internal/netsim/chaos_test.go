@@ -212,7 +212,7 @@ type slowService struct {
 	delay atomic.Int64
 }
 
-func (s *slowService) RequestBids(r trading.RFB) ([]trading.Offer, error) {
+func (s *slowService) RequestBids(r trading.RFB) (trading.BidReply, error) {
 	time.Sleep(time.Duration(s.delay.Load()))
 	return s.echoService.RequestBids(r)
 }

@@ -19,8 +19,8 @@ import (
 
 // Service is the seller-side surface a federation node exposes to peers.
 type Service interface {
-	RequestBids(trading.RFB) ([]trading.Offer, error)
-	ImproveBids(trading.ImproveReq) ([]trading.Offer, error)
+	RequestBids(trading.RFB) (trading.BidReply, error)
+	ImproveBids(trading.ImproveReq) (trading.BidReply, error)
 	Award(trading.Award) error
 	Execute(trading.ExecReq) (trading.ExecResp, error)
 }
@@ -233,21 +233,17 @@ type simPeer struct {
 }
 
 // RequestBids implements trading.Peer.
-func (p *simPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+func (p *simPeer) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
 	svc, err := p.net.dispatch(p.from, p.to, rfb.WireSize())
 	if err != nil {
-		return nil, err
+		return trading.BidReply{}, err
 	}
-	offers, err := svc.RequestBids(rfb)
+	rep, err := svc.RequestBids(rfb)
 	if err != nil {
-		return nil, err
+		return trading.BidReply{}, err
 	}
-	respBytes := 8
-	for i := range offers {
-		respBytes += offers[i].WireSize()
-	}
-	p.net.account(p.from, p.to, rfb.WireSize(), respBytes)
-	return offers, nil
+	p.net.account(p.from, p.to, rfb.WireSize(), rep.WireSize())
+	return rep, nil
 }
 
 // Execute fetches a purchased answer from the peer with full accounting
@@ -257,21 +253,17 @@ func (p *simPeer) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 }
 
 // ImproveBids implements trading.Peer.
-func (p *simPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+func (p *simPeer) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
 	svc, err := p.net.dispatch(p.from, p.to, req.WireSize())
 	if err != nil {
-		return nil, err
+		return trading.BidReply{}, err
 	}
-	offers, err := svc.ImproveBids(req)
+	rep, err := svc.ImproveBids(req)
 	if err != nil {
-		return nil, err
+		return trading.BidReply{}, err
 	}
-	respBytes := 8
-	for i := range offers {
-		respBytes += offers[i].WireSize()
-	}
-	p.net.account(p.from, p.to, req.WireSize(), respBytes)
-	return offers, nil
+	p.net.account(p.from, p.to, req.WireSize(), rep.WireSize())
+	return rep, nil
 }
 
 // atomic float helpers (no atomic.Float64 in the stdlib).

@@ -17,15 +17,15 @@ type echoService struct {
 	rfbs int
 }
 
-func (e *echoService) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+func (e *echoService) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
 	e.mu.Lock()
 	e.rfbs++
 	e.mu.Unlock()
-	return []trading.Offer{{OfferID: e.id + "/1", RFBID: rfb.RFBID, QID: rfb.Queries[0].QID, SellerID: e.id, SQL: "SELECT 1", Price: 10}}, nil
+	return trading.BidReply{Offers: []trading.Offer{{OfferID: e.id + "/1", RFBID: rfb.RFBID, QID: rfb.Queries[0].QID, SellerID: e.id, SQL: "SELECT 1", Price: 10}}}, nil
 }
 
-func (e *echoService) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
-	return nil, nil
+func (e *echoService) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
+	return trading.BidReply{}, nil
 }
 
 func (e *echoService) Award(trading.Award) error { return nil }
@@ -62,9 +62,9 @@ func TestCallCountsMessagesAndBytes(t *testing.T) {
 	n := New()
 	n.Register("a", &echoService{id: "a"})
 	p := n.Peer("buyer", "a")
-	offers, err := p.RequestBids(rfb())
-	if err != nil || len(offers) != 1 {
-		t.Fatalf("bids: %v %v", offers, err)
+	rep, err := p.RequestBids(rfb())
+	if err != nil || len(rep.Offers) != 1 {
+		t.Fatalf("bids: %v %v", rep, err)
 	}
 	msgs, bytes := n.Stats()
 	if msgs != 2 {
@@ -185,9 +185,9 @@ func TestRPCLoopback(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer peer.Close()
-	offers, err := peer.RequestBids(rfb())
-	if err != nil || len(offers) != 1 || offers[0].SellerID != "rpcnode" {
-		t.Fatalf("rpc bids: %v %v", offers, err)
+	rep, err := peer.RequestBids(rfb())
+	if err != nil || len(rep.Offers) != 1 || rep.Offers[0].SellerID != "rpcnode" {
+		t.Fatalf("rpc bids: %v %v", rep, err)
 	}
 	if _, err := peer.ImproveBids(trading.ImproveReq{RFBID: "r"}); err != nil {
 		t.Fatalf("rpc improve: %v", err)

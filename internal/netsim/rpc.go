@@ -21,22 +21,22 @@ type RPCService struct {
 }
 
 // RequestBids is the net/rpc method for RFBs.
-func (r *RPCService) RequestBids(rfb *trading.RFB, reply *[]trading.Offer) error {
-	offers, err := r.Svc.RequestBids(*rfb)
+func (r *RPCService) RequestBids(rfb *trading.RFB, reply *trading.BidReply) error {
+	rep, err := r.Svc.RequestBids(*rfb)
 	if err != nil {
 		return err
 	}
-	*reply = offers
+	*reply = rep
 	return nil
 }
 
 // ImproveBids is the net/rpc method for improvement rounds.
-func (r *RPCService) ImproveBids(req *trading.ImproveReq, reply *[]trading.Offer) error {
-	offers, err := r.Svc.ImproveBids(*req)
+func (r *RPCService) ImproveBids(req *trading.ImproveReq, reply *trading.BidReply) error {
+	rep, err := r.Svc.ImproveBids(*req)
 	if err != nil {
 		return err
 	}
-	*reply = offers
+	*reply = rep
 	return nil
 }
 
@@ -130,15 +130,15 @@ func (p *RPCPeer) call(method string, args, reply any) error {
 }
 
 // RequestBids implements trading.Peer.
-func (p *RPCPeer) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
-	var reply []trading.Offer
+func (p *RPCPeer) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
+	var reply trading.BidReply
 	err := p.call("RequestBids", &rfb, &reply)
 	return reply, err
 }
 
 // ImproveBids implements trading.Peer.
-func (p *RPCPeer) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
-	var reply []trading.Offer
+func (p *RPCPeer) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
+	var reply trading.BidReply
 	err := p.call("ImproveBids", &req, &reply)
 	return reply, err
 }

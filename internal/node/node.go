@@ -103,7 +103,12 @@ type Node struct {
 	flights      map[string]map[string]*flight        // rfbID -> query key
 	active       atomic.Int64                         // executions in flight, for load-aware pricing
 	obsv         atomic.Pointer[nodeObs]
+	traceLog     atomic.Pointer[obs.TraceLog]
 }
+
+// SetTraceLog attaches a trace log that retains the most recent sampled
+// subtree this node shipped, for live exposition at /trace/last. Nil detaches.
+func (n *Node) SetTraceLog(l *obs.TraceLog) { n.traceLog.Store(l) }
 
 // flight is one single-flight pricing of a (RFB, query) pair: the first
 // caller computes offers, every concurrent or later caller for the same pair
@@ -202,15 +207,28 @@ func (n *Node) Load() float64 { return float64(n.active.Load()) }
 // (RFBID, query) is priced at most once while the RFB's state is alive, so a
 // fault-layer retry racing an abandoned slow first attempt coalesces with it
 // and a repeated RFBID returns the same offers.
-func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
+// When the RFB carries a sampled trace context, the node records its work
+// into a detached span tree and ships the finished subtree back in the
+// reply: the buyer grafts it under its own RequestBids span, and in-process
+// federations (where buyer and seller share one tracer) still see each
+// subtree exactly once, because the sampled path bypasses the node's
+// attached tracer.
+func (n *Node) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
 	ob := n.obsv.Load()
 	var sp *obs.Span
+	var remote *obs.Tracer
+	if rfb.Trace.Sampled {
+		remote = obs.NewTracer()
+		sp = remote.Start(n.cfg.ID, "request-bids")
+	} else if ob != nil {
+		sp = ob.tracer.Start(n.cfg.ID, "request-bids")
+	}
 	if ob != nil {
 		ob.rfbs.Inc()
-		sp = ob.tracer.Start(n.cfg.ID, "request-bids")
+	}
+	if sp != nil {
 		sp.Set("rfb", rfb.RFBID)
 		sp.Set("queries", len(rfb.Queries))
-		defer sp.End()
 	}
 	results := make([][]trading.Offer, len(rfb.Queries))
 	if n.cfg.Workers == 1 || len(rfb.Queries) <= 1 {
@@ -239,8 +257,13 @@ func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 		}
 		out = append(out, offers...)
 	}
-	if ob != nil {
-		sp.Set("offers", len(out))
+	sp.Set("offers", len(out))
+	sp.End()
+	reply := trading.BidReply{Offers: out}
+	if remote != nil {
+		payload := sp.Payload()
+		reply.Trace = payload
+		n.traceLog.Load().Record(payload)
 	}
 	n.mu.Lock()
 	m := n.standing[rfb.RFBID]
@@ -262,7 +285,7 @@ func (n *Node) RequestBids(rfb trading.RFB) ([]trading.Offer, error) {
 		m[out[i].OfferID] = &standingOffer{offer: out[i], truth: trading.TruthScore(n.cfg.Weights, out[i].Props)}
 	}
 	n.mu.Unlock()
-	return out, nil
+	return reply, nil
 }
 
 // offersForShared single-flights offersFor per (RFBID, query): the first
@@ -616,13 +639,30 @@ func (n *Node) valuation(execCost float64, rows int64, bytes float64, coverage f
 
 // ImproveBids implements the seller side of iterative bidding and bargaining
 // (step S3): the strategy may undercut the best competing price or meet a
-// bargaining target.
-func (n *Node) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
+// bargaining target. A sampled request ships a small improve-bids span back
+// so every protocol round is visible in the buyer's trace.
+func (n *Node) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
+	var sp *obs.Span
+	if req.Trace.Sampled {
+		sp = obs.NewTracer().Start(n.cfg.ID, "improve-bids")
+		sp.Set("rfb", req.RFBID)
+	}
+	out := n.improveOffers(req)
+	reply := trading.BidReply{Offers: out}
+	if sp != nil {
+		sp.Set("offers", len(out))
+		sp.End()
+		reply.Trace = sp.Payload()
+	}
+	return reply, nil
+}
+
+func (n *Node) improveOffers(req trading.ImproveReq) []trading.Offer {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	m := n.standing[req.RFBID]
 	if m == nil {
-		return nil, nil
+		return nil
 	}
 	var out []trading.Offer
 	ids := make([]string, 0, len(m))
@@ -646,7 +686,7 @@ func (n *Node) ImproveBids(req trading.ImproveReq) ([]trading.Offer, error) {
 		so.offer.Price = newPrice
 		out = append(out, so.offer)
 	}
-	return out, nil
+	return out
 }
 
 // Award records a win (and implies losses for the node's competing offers on
@@ -691,26 +731,52 @@ func (n *Node) EndNegotiation(rfbID string, wonOfferIDs map[string]bool) {
 
 // Execute evaluates a purchased query and ships the answer. The SQL is
 // either a (rewritten) query over local fragments or a compensation query
-// over a local materialized view.
+// over a local materialized view. A sampled request ships the node's
+// execution span subtree (including subcontract fetch spans) back on the
+// response.
 func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	n.active.Add(1)
 	defer n.active.Add(-1)
-	if ob := n.obsv.Load(); ob != nil {
-		ob.execs.Inc()
-		t0 := time.Now()
-		sp := ob.tracer.Start(n.cfg.ID, "execute")
-		sp.Set("sql", req.SQL)
-		defer func() {
-			ob.execMS.Observe(msSince(t0))
-			sp.End()
-		}()
+	ob := n.obsv.Load()
+	var sp *obs.Span
+	var remote *obs.Tracer
+	if req.Trace.Sampled {
+		remote = obs.NewTracer()
+		sp = remote.Start(n.cfg.ID, "execute")
+	} else if ob != nil {
+		sp = ob.tracer.Start(n.cfg.ID, "execute")
 	}
+	sp.Set("sql", req.SQL)
+	var t0 time.Time
+	if ob != nil {
+		ob.execs.Inc()
+		t0 = time.Now()
+	}
+	resp, err := n.executeInner(req, sp)
+	if ob != nil {
+		ob.execMS.Observe(msSince(t0))
+	}
+	if err != nil {
+		sp.Set("error", err)
+	}
+	sp.End()
+	if remote != nil && err == nil {
+		payload := sp.Payload()
+		resp.Trace = payload
+		n.traceLog.Load().Record(payload)
+	}
+	return resp, err
+}
+
+// executeInner is the body of Execute, with sp the node's execute span (nil
+// when tracing is off).
+func (n *Node) executeInner(req trading.ExecReq, sp *obs.Span) (trading.ExecResp, error) {
 	if req.OfferID != "" {
 		n.mu.Lock()
 		sc := n.subcontracts[req.OfferID]
 		n.mu.Unlock()
 		if sc != nil {
-			return n.executeSubcontract(sc)
+			return n.executeSubcontract(sc, sp, req.Trace)
 		}
 	}
 	stmt, err := sqlparse.Parse(req.SQL)

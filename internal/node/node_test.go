@@ -72,9 +72,15 @@ func paperRFB() trading.RFB {
 		Queries: []trading.QueryRequest{{QID: "q0", SQL: paperQuery}}}
 }
 
+// bidOffers unwraps a BidReply-returning call for tests that only care
+// about the offers.
+func bidOffers(rep trading.BidReply, err error) ([]trading.Offer, error) {
+	return rep.Offers, err
+}
+
 func TestRequestBidsPaperExample(t *testing.T) {
 	n := myconosNode(t, nil)
-	offers, err := n.RequestBids(paperRFB())
+	offers, err := bidOffers(n.RequestBids(paperRFB()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +129,7 @@ func TestRequestBidsPaperExample(t *testing.T) {
 func TestRequestBidsIrrelevantNode(t *testing.T) {
 	sch := telcoSchema()
 	n := New(Config{ID: "empty", Schema: sch})
-	offers, err := n.RequestBids(paperRFB())
+	offers, err := bidOffers(n.RequestBids(paperRFB()))
 	if err != nil || len(offers) != 0 {
 		t.Fatalf("empty node must silently offer nothing: %v %v", offers, err)
 	}
@@ -132,7 +138,7 @@ func TestRequestBidsIrrelevantNode(t *testing.T) {
 func TestCompetitivePricingAndImprove(t *testing.T) {
 	strat := trading.NewCompetitive()
 	n := myconosNode(t, strat)
-	offers, err := n.RequestBids(paperRFB())
+	offers, err := bidOffers(n.RequestBids(paperRFB()))
 	if err != nil || len(offers) == 0 {
 		t.Fatal(err)
 	}
@@ -142,10 +148,10 @@ func TestCompetitivePricingAndImprove(t *testing.T) {
 		t.Fatalf("competitive ask must exceed truth: %f vs %f", o.Price, truth)
 	}
 	// A cheaper competitor forces an undercut.
-	improved, err := n.ImproveBids(trading.ImproveReq{
+	improved, err := bidOffers(n.ImproveBids(trading.ImproveReq{
 		RFBID:     "rfb1",
 		BestPrice: map[string]float64{"q0": o.Price * 0.99},
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +164,7 @@ func TestCompetitivePricingAndImprove(t *testing.T) {
 		}
 	}
 	// Unknown RFB: nothing to improve.
-	none, err := n.ImproveBids(trading.ImproveReq{RFBID: "ghost", BestPrice: map[string]float64{"q0": 1}})
+	none, err := bidOffers(n.ImproveBids(trading.ImproveReq{RFBID: "ghost", BestPrice: map[string]float64{"q0": 1}}))
 	if err != nil || len(none) != 0 {
 		t.Fatal("unknown rfb must be empty")
 	}
@@ -167,7 +173,7 @@ func TestCompetitivePricingAndImprove(t *testing.T) {
 func TestAwardFeedsStrategy(t *testing.T) {
 	strat := trading.NewCompetitive()
 	n := myconosNode(t, strat)
-	offers, _ := n.RequestBids(paperRFB())
+	offers, _ := bidOffers(n.RequestBids(paperRFB()))
 	before := strat.Margin()
 	if err := n.Award(trading.Award{RFBID: "rfb1", OfferID: offers[0].OfferID}); err != nil {
 		t.Fatal(err)
@@ -186,7 +192,7 @@ func TestAwardFeedsStrategy(t *testing.T) {
 
 func TestExecutePurchasedQuery(t *testing.T) {
 	n := myconosNode(t, nil)
-	offers, _ := n.RequestBids(paperRFB())
+	offers, _ := bidOffers(n.RequestBids(paperRFB()))
 	var joint *trading.Offer
 	for i := range offers {
 		if len(offers[i].Bindings) == 2 && !offers[i].PartialAgg {
@@ -235,7 +241,7 @@ func TestViewOffersAndExecution(t *testing.T) {
 	      WHERE c.custid = i.custid GROUP BY c.office`
 	rfb := trading.RFB{RFBID: "r2", BuyerID: "athens",
 		Queries: []trading.QueryRequest{{QID: "q0", SQL: q}}}
-	offers, err := n.RequestBids(rfb)
+	offers, err := bidOffers(n.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +267,7 @@ func TestViewOffersAndExecution(t *testing.T) {
 	// Ablation: views disabled.
 	n2 := myconosNode(t, nil)
 	n2.cfg.DisableViews = true
-	offers2, _ := n2.RequestBids(rfb)
+	offers2, _ := bidOffers(n2.RequestBids(rfb))
 	for _, o := range offers2 {
 		if o.FromView {
 			t.Fatal("views disabled but offered")
@@ -280,7 +286,7 @@ func TestOfferCap(t *testing.T) {
 	if _, err := n.Store().CreateFragment(inv, "p0"); err != nil {
 		t.Fatal(err)
 	}
-	offers, err := n.RequestBids(paperRFB())
+	offers, err := bidOffers(n.RequestBids(paperRFB()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,7 +66,7 @@ func wideRFB(rfbID string, width int) trading.RFB {
 func TestParallelMatchesSerial(t *testing.T) {
 	rfb := wideRFB("rfb-par", 6)
 	serial := telcoNodeCfg(t, func(c *Config) { c.Workers = 1; c.PriceCacheSize = -1 })
-	want, err := serial.RequestBids(rfb)
+	want, err := bidOffers(serial.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	for _, workers := range []int{2, 8} {
 		par := telcoNodeCfg(t, func(c *Config) { c.Workers = workers })
-		got, err := par.RequestBids(rfb)
+		got, err := bidOffers(par.RequestBids(rfb))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,14 +92,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestPriceCacheHitsAcrossIterations(t *testing.T) {
 	m := obs.NewMetrics()
 	n := telcoNodeCfg(t, func(c *Config) { c.Metrics = m })
-	first, err := n.RequestBids(wideRFB("rfb-i1", 3))
+	first, err := bidOffers(n.RequestBids(wideRFB("rfb-i1", 3)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v := m.Counter("node.myconos.pricecache_hits").Value(); v != 0 {
 		t.Fatalf("cold cache reported %d hits", v)
 	}
-	second, err := n.RequestBids(wideRFB("rfb-i2", 3))
+	second, err := bidOffers(n.RequestBids(wideRFB("rfb-i2", 3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestPriceCacheHitsAcrossIterations(t *testing.T) {
 func TestPriceCacheInvalidatedByMutation(t *testing.T) {
 	m := obs.NewMetrics()
 	n := telcoNodeCfg(t, func(c *Config) { c.Metrics = m })
-	stale, err := n.RequestBids(wideRFB("rfb-m1", 2))
+	stale, err := bidOffers(n.RequestBids(wideRFB("rfb-m1", 2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestPriceCacheInvalidatedByMutation(t *testing.T) {
 		}
 	}
 	grow(n)
-	fresh, err := n.RequestBids(wideRFB("rfb-m2", 2))
+	fresh, err := bidOffers(n.RequestBids(wideRFB("rfb-m2", 2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestPriceCacheInvalidatedByMutation(t *testing.T) {
 	// A cold node holding the same final data must price identically.
 	cold := telcoNodeCfg(t, nil)
 	grow(cold)
-	want, err := cold.RequestBids(wideRFB("rfb-m2", 2))
+	want, err := bidOffers(cold.RequestBids(wideRFB("rfb-m2", 2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,12 +212,12 @@ func TestRequestBidsIdempotentRepeat(t *testing.T) {
 		c.Strategy = strat
 	})
 	rfb := wideRFB("rfb-idem", 3)
-	first, err := n.RequestBids(rfb)
+	first, err := bidOffers(n.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
 	priced := strat.count()
-	again, err := n.RequestBids(rfb)
+	again, err := bidOffers(n.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,13 +257,13 @@ func TestRetryCoalescesWithAbandonedAttempt(t *testing.T) {
 	}
 	firstCh := make(chan res, 1)
 	go func() {
-		offers, err := n.RequestBids(rfb)
+		offers, err := bidOffers(n.RequestBids(rfb))
 		firstCh <- res{offers, err}
 	}()
 	<-strat.started // first attempt is mid-pricing and now stalled
 	retryCh := make(chan res, 1)
 	go func() {
-		offers, err := n.RequestBids(rfb)
+		offers, err := bidOffers(n.RequestBids(rfb))
 		retryCh <- res{offers, err}
 	}()
 	// Give the retry a moment to reach the single-flight gate, then release

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
@@ -128,10 +129,15 @@ func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sql
 	peers map[string]trading.Peer, sp *obs.Span, offerID string) (trading.Offer, bool) {
 
 	base := localopt.SubqueryFor(sel, []string{tr.Binding()})
+	// The nested negotiation inherits the buyer's trace context, so a sampled
+	// Depth-1 subcontract ships its own sellers' subtrees back up the chain:
+	// they graft under this node's subcontract span, which in turn rides home
+	// inside the node's RequestBids payload.
 	subRFB := trading.RFB{
 		RFBID:   rfb.RFBID + "/sub/" + n.cfg.ID,
 		BuyerID: n.cfg.ID,
 		Depth:   rfb.Depth + 1,
+		Trace:   rfb.Trace,
 	}
 	for i, pid := range missing {
 		p, ok := n.cfg.Schema.Partition(tr.Name, pid)
@@ -257,8 +263,10 @@ func (n *Node) buildComposite(rfb trading.RFB, qr trading.QueryRequest, sel *sql
 }
 
 // executeSubcontract assembles a composite offer's answer: local partial
-// rows plus the purchased fragments fetched from the subcontractors.
-func (n *Node) executeSubcontract(sc *subcontract) (trading.ExecResp, error) {
+// rows plus the purchased fragments fetched from the subcontractors. sp is
+// the node's execute span; a sampled ctx is propagated on the fetches so the
+// subcontractors' execution subtrees graft under the per-peer fetch spans.
+func (n *Node) executeSubcontract(sc *subcontract, sp *obs.Span, ctx obs.TraceContext) (trading.ExecResp, error) {
 	sel, err := sqlparse.ParseSelect(sc.localSQL)
 	if err != nil {
 		return trading.ExecResp{}, err
@@ -284,7 +292,13 @@ func (n *Node) executeSubcontract(sc *subcontract) (trading.ExecResp, error) {
 		})
 		var resp trading.ExecResp
 		var err error
+		fs := sp.Child("fetch " + r.peerID)
 		req := trading.ExecReq{BuyerID: n.cfg.ID, SQL: r.sql}
+		if ctx.Sampled {
+			req.Trace = ctx
+			req.Trace.Parent = fs.ID()
+		}
+		sentAt := time.Now()
 		switch {
 		case ok:
 			// Guarded so a subcontractor that died after winning cannot hang
@@ -295,11 +309,15 @@ func (n *Node) executeSubcontract(sc *subcontract) (trading.ExecResp, error) {
 		case n.cfg.SubcontractFetch != nil:
 			resp, err = n.cfg.SubcontractFetch(r.peerID, req)
 		default:
-			return trading.ExecResp{}, fmt.Errorf("node %s: no execution channel to subcontractor %s", n.cfg.ID, r.peerID)
+			err = fmt.Errorf("no execution channel")
 		}
 		if err != nil {
+			fs.Set("error", err)
+			fs.End()
 			return trading.ExecResp{}, fmt.Errorf("node %s: subcontractor %s: %w", n.cfg.ID, r.peerID, err)
 		}
+		fs.Graft(resp.Trace, sentAt, time.Now())
+		fs.End()
 		for _, row := range resp.Rows {
 			if len(row) != sc.width {
 				return trading.ExecResp{}, fmt.Errorf("node %s: subcontracted width %d != %d", n.cfg.ID, len(row), sc.width)

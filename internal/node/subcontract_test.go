@@ -58,7 +58,7 @@ func TestSubcontractOfferCoversMissingPartition(t *testing.T) {
 	_, corfu, _ := subFederation(t)
 	rfb := trading.RFB{RFBID: "r1", BuyerID: "buyer",
 		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
-	offers, err := corfu.RequestBids(rfb)
+	offers, err := bidOffers(corfu.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestSubcontractExecution(t *testing.T) {
 	_, corfu, _ := subFederation(t)
 	rfb := trading.RFB{RFBID: "r2", BuyerID: "buyer",
 		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
-	offers, err := corfu.RequestBids(rfb)
+	offers, err := bidOffers(corfu.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestSubcontractDepthLimit(t *testing.T) {
 	// A Depth-1 RFB (already a subcontract) must not be re-subcontracted.
 	rfb := trading.RFB{RFBID: "r3", BuyerID: "other-seller", Depth: 1,
 		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
-	offers, err := corfu.RequestBids(rfb)
+	offers, err := bidOffers(corfu.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestSubcontractUnavailablePeerNoComposite(t *testing.T) {
 	net.SetDown("myconos", true)
 	rfb := trading.RFB{RFBID: "r4", BuyerID: "buyer",
 		Queries: []trading.QueryRequest{{QID: "q0", SQL: bothOfficesQuery}}}
-	offers, err := corfu.RequestBids(rfb)
+	offers, err := bidOffers(corfu.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestSubcontractQueryOnlyNeedsOwnData(t *testing.T) {
 	rfb := trading.RFB{RFBID: "r5", BuyerID: "buyer",
 		Queries: []trading.QueryRequest{{QID: "q0",
 			SQL: "SELECT c.custname FROM customer c WHERE c.office = 'Corfu'"}}}
-	offers, err := corfu.RequestBids(rfb)
+	offers, err := bidOffers(corfu.RequestBids(rfb))
 	if err != nil {
 		t.Fatal(err)
 	}

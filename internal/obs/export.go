@@ -13,13 +13,14 @@ import (
 // children, with Path giving the slash-joined ancestry so trees can be
 // rebuilt offline.
 type jsonlSpan struct {
-	Trace   int               `json:"trace"`
-	Path    string            `json:"path"`
-	Name    string            `json:"name"`
-	Source  string            `json:"source,omitempty"`
-	StartUS int64             `json:"start_us"`
-	DurUS   int64             `json:"dur_us"`
-	Attrs   map[string]string `json:"attrs,omitempty"`
+	Trace      int               `json:"trace"`
+	Path       string            `json:"path"`
+	Name       string            `json:"name"`
+	Source     string            `json:"source,omitempty"`
+	StartUS    int64             `json:"start_us"`
+	DurUS      int64             `json:"dur_us"`
+	Unfinished bool              `json:"unfinished,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
 }
 
 // WriteJSONL writes every recorded span as one JSON object per line. Spans
@@ -45,12 +46,13 @@ func writeJSONLSpan(enc *json.Encoder, epoch time.Time, trace int, parentPath st
 		path = parentPath + "/" + path
 	}
 	rec := jsonlSpan{
-		Trace:   trace,
-		Path:    path,
-		Name:    s.Name(),
-		Source:  s.Source(),
-		StartUS: s.start.Sub(epoch).Microseconds(),
-		DurUS:   s.Duration().Microseconds(),
+		Trace:      trace,
+		Path:       path,
+		Name:       s.Name(),
+		Source:     s.Source(),
+		StartUS:    s.start.Sub(epoch).Microseconds(),
+		DurUS:      s.Duration().Microseconds(),
+		Unfinished: !s.Ended(),
 	}
 	if attrs := s.Attrs(); len(attrs) > 0 {
 		rec.Attrs = make(map[string]string, len(attrs))
@@ -106,7 +108,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		tids[source] = id
 		return id
 	}
-	var events []chromeEvent
+	events := []chromeEvent{} // non-nil: an empty trace encodes as [], not null
 	var walk func(s *Span)
 	walk = func(s *Span) {
 		ev := chromeEvent{
@@ -120,7 +122,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if ev.Dur <= 0 {
 			ev.Dur = 1 // zero-length events are dropped by some viewers
 		}
-		if attrs := s.Attrs(); len(attrs) > 0 {
+		attrs := s.Attrs()
+		if !s.Ended() {
+			attrs = append(attrs, Attr{Key: "unfinished", Val: "true"})
+		}
+		if len(attrs) > 0 {
 			ev.Args = make(map[string]string, len(attrs))
 			for _, a := range attrs {
 				ev.Args[a.Key] = a.Val
@@ -152,6 +158,53 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
+// WritePayloadJSONL writes a shipped span subtree in the same flat JSONL
+// shape as WriteJSONL. Timestamps are relative to the payload root's start
+// (the receiver has no tracer epoch to offset against).
+func WritePayloadJSONL(w io.Writer, p *SpanPayload) error {
+	if p == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := writePayloadSpan(enc, p.StartUS, "", p); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writePayloadSpan(enc *json.Encoder, epochUS int64, parentPath string, p *SpanPayload) error {
+	path := p.Name
+	if parentPath != "" {
+		path = parentPath + "/" + path
+	}
+	rec := jsonlSpan{
+		Path:       path,
+		Name:       p.Name,
+		Source:     p.Source,
+		StartUS:    p.StartUS - epochUS,
+		Unfinished: p.Unfinished,
+	}
+	if p.EndUS > p.StartUS {
+		rec.DurUS = p.EndUS - p.StartUS
+	}
+	if len(p.Attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(p.Attrs))
+		for _, a := range p.Attrs {
+			rec.Attrs[a.Key] = a.Val
+		}
+	}
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	for _, c := range p.Children {
+		if err := writePayloadSpan(enc, epochUS, path, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RenderText renders the span forest as an indented tree with durations and
 // attributes — the human-readable counterpart of the JSON exports.
 func (t *Tracer) RenderText() string {
@@ -177,6 +230,9 @@ func renderSpan(b *strings.Builder, s *Span, depth int) {
 		fmt.Fprintf(b, " @%s", src)
 	}
 	fmt.Fprintf(b, " (%.3fms)", float64(s.Duration().Microseconds())/1000)
+	if !s.Ended() {
+		b.WriteString(" unfinished=true")
+	}
 	for _, a := range s.Attrs() {
 		fmt.Fprintf(b, " %s=%s", a.Key, a.Val)
 	}

@@ -1,0 +1,161 @@
+package obs
+
+// Live exposition over HTTP, stdlib only: /metrics in Prometheus text
+// format, /debug/pprof/* via net/http/pprof, and /trace/last serving the
+// most recent sampled negotiation as span JSONL. qtnode mounts this on
+// -obs-addr so a running federation can be scraped and profiled without
+// stopping it.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// promName sanitizes an instrument name into a valid Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_' (so "node.n0.rfbs" is
+// exposed as "node_n0_rfbs"), and a leading digit gains a '_' prefix.
+func promName(name string) string {
+	b := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "_"
+	}
+	return string(b)
+}
+
+// promFloat renders a float the way Prometheus expects, mapping +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus writes every registered instrument in Prometheus text
+// exposition format (version 0.0.4), sorted by name. Counters and gauges
+// are single samples; histograms expose cumulative _bucket{le="..."} series
+// over the registry's exponential bounds plus _sum and _count.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	m.Each(func(name string, instrument any) {
+		pn := promName(name)
+		switch inst := instrument.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, inst.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(inst.Value()))
+		case *Histogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+			var cum int64
+			bound := histBase
+			for i := 0; i < histBuckets; i++ {
+				cum += inst.buckets[i].Load()
+				le := promFloat(bound)
+				if i == histBuckets-1 {
+					le = "+Inf"
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, le, cum)
+				bound *= 2
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(inst.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", pn, inst.Count())
+		}
+	})
+	return bw.Flush()
+}
+
+// ServeHTTP makes the registry an http.Handler serving /metrics scrapes.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = m.WritePrometheus(w)
+}
+
+// TraceLog retains the most recent sampled negotiation's span payload so a
+// live node can serve it at /trace/last. Writers call Record with the
+// payload they are about to ship (seller side) or just rendered (buyer
+// side); readers get JSONL identical in shape to Tracer.WriteJSONL.
+type TraceLog struct {
+	mu   sync.Mutex
+	last *SpanPayload
+	at   time.Time
+}
+
+// NewTraceLog returns an empty trace log.
+func NewTraceLog() *TraceLog { return &TraceLog{} }
+
+// Record stores p as the most recent trace. Nil-safe on both sides.
+func (l *TraceLog) Record(p *SpanPayload) {
+	if l == nil || p == nil {
+		return
+	}
+	l.mu.Lock()
+	l.last, l.at = p, time.Now()
+	l.mu.Unlock()
+}
+
+// Last returns the most recent recorded payload and when it was recorded
+// (nil when nothing has been sampled yet).
+func (l *TraceLog) Last() (*SpanPayload, time.Time) {
+	if l == nil {
+		return nil, time.Time{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last, l.at
+}
+
+// ServeHTTP serves the most recent sampled trace as span JSONL, or 404 when
+// none has been recorded yet.
+func (l *TraceLog) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	p, _ := l.Last()
+	if p == nil {
+		http.Error(w, "no sampled trace recorded yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	_ = WritePayloadJSONL(w, p)
+}
+
+// Handler mounts the exposition surface on a fresh mux: /metrics (when m is
+// non-nil), /trace/last (when tl is non-nil), and /debug/pprof/*.
+func Handler(m *Metrics, tl *TraceLog) http.Handler {
+	mux := http.NewServeMux()
+	if m != nil {
+		mux.Handle("/metrics", m)
+	}
+	if tl != nil {
+		mux.Handle("/trace/last", tl)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exact exposition text for counters and
+// gauges, including name sanitization — the format third-party scrapers
+// parse, so any change here is a breaking change.
+func TestPrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("node.n1.rfbs").Add(7)
+	m.Gauge("fault.breaker.n1-open").Set(1)
+	m.Counter("buyer.hq.iterations").Add(3)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE buyer_hq_iterations counter",
+		"buyer_hq_iterations 3",
+		"# TYPE fault_breaker_n1_open gauge",
+		"fault_breaker_n1_open 1",
+		"# TYPE node_n1_rfbs counter",
+		"node_n1_rfbs 7",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("prometheus text drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestPrometheusHistogram checks the histogram series: cumulative buckets
+// over the registry's exponential bounds, +Inf last, _sum and _count.
+func TestPrometheusHistogram(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("buyer.hq.price_ms")
+	h.Observe(0.0005) // bucket 0 (le=0.001)
+	h.Observe(0.5)
+	h.Observe(1e9) // beyond every finite bound → +Inf only
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# TYPE buyer_hq_price_ms histogram\n") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	lineRe := regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9eE.+-]+|[a-zA-Z_:][a-zA-Z0-9_:]*(_sum|_count) [0-9eE.+-]+)$`)
+	bucketRe := regexp.MustCompile(`^buyer_hq_price_ms_bucket\{le="([^"]+)"\} (\d+)$`)
+	var bounds []string
+	var counts []int64
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !lineRe.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if mm := bucketRe.FindStringSubmatch(line); mm != nil {
+			bounds = append(bounds, mm[1])
+			n, _ := strconv.ParseInt(mm[2], 10, 64)
+			counts = append(counts, n)
+		}
+	}
+	if len(bounds) != histBuckets {
+		t.Fatalf("bucket lines: %d, want %d", len(bounds), histBuckets)
+	}
+	if bounds[0] != "0.001" || bounds[len(bounds)-1] != "+Inf" {
+		t.Fatalf("bucket bounds: first %q last %q", bounds[0], bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("buckets must be cumulative: %v", counts)
+		}
+	}
+	if counts[0] != 1 {
+		t.Fatalf("le=0.001 must hold the 0.0005 observation: %d", counts[0])
+	}
+	if counts[len(counts)-1] != 3 {
+		t.Fatalf("+Inf bucket must hold every observation: %d", counts[len(counts)-1])
+	}
+	if !strings.Contains(out, "buyer_hq_price_ms_count 3") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"node.n0.rfbs":   "node_n0_rfbs",
+		"net.a->b":       "net_a__b",
+		"9lives":         "_9lives",
+		"ok_name:colons": "ok_name:colons",
+		"":               "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("node.n1.rfbs").Inc()
+	tl := NewTraceLog()
+	srv := httptest.NewServer(Handler(m, tl))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), b.String()
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics: %d %q", code, ctype)
+	}
+	if !strings.Contains(body, "node_n1_rfbs 1") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	if code, _, _ := get("/trace/last"); code != 404 {
+		t.Fatalf("/trace/last before any sample: %d, want 404", code)
+	}
+	tr := NewTracer()
+	sp := tr.Start("corfu", "request-bids")
+	sp.Child("dp-pricing").End()
+	sp.End()
+	tl.Record(sp.Payload())
+	code, _, body = get("/trace/last")
+	if code != 200 || !strings.Contains(body, `"request-bids"`) || !strings.Contains(body, `"dp-pricing"`) {
+		t.Fatalf("/trace/last: %d\n%s", code, body)
+	}
+
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, _, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+func TestTraceLogNilSafety(t *testing.T) {
+	var tl *TraceLog
+	tl.Record(&SpanPayload{Name: "x"})
+	if p, _ := tl.Last(); p != nil {
+		t.Fatal("nil trace log must stay empty")
+	}
+	live := NewTraceLog()
+	live.Record(nil)
+	if p, _ := live.Last(); p != nil {
+		t.Fatal("nil payload must not be recorded")
+	}
+	live.Record(&SpanPayload{Name: "a"})
+	live.Record(&SpanPayload{Name: "b"})
+	p, at := live.Last()
+	if p == nil || p.Name != "b" || at.IsZero() {
+		t.Fatalf("last: %+v %v", p, at)
+	}
+}
+
+// TestSnapshotDeterministic pins that Snapshot and Each render instruments in
+// sorted name order regardless of registration order — scrapers and golden
+// tests depend on a stable exposition order.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(names []string) *Metrics {
+		m := NewMetrics()
+		for _, n := range names {
+			m.Counter(n).Inc()
+		}
+		m.Gauge("zz.gauge").Set(2)
+		m.Histogram("aa.hist").Observe(time.Millisecond.Seconds())
+		return m
+	}
+	a := build([]string{"c.one", "b.two", "a.three"})
+	b := build([]string{"a.three", "c.one", "b.two"})
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("snapshot depends on registration order:\n%s\nvs\n%s", a.Snapshot(), b.Snapshot())
+	}
+	var order []string
+	a.Each(func(name string, _ any) { order = append(order, name) })
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("Each not sorted: %v", order)
+		}
+	}
+	var prom1, prom2 strings.Builder
+	_ = a.WritePrometheus(&prom1)
+	_ = b.WritePrometheus(&prom2)
+	if prom1.String() != prom2.String() {
+		t.Fatal("prometheus output depends on registration order")
+	}
+}

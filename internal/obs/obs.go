@@ -23,6 +23,7 @@ package obs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,11 +54,28 @@ func (t *Tracer) Start(source, name string) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tracer: t, source: source, name: name, start: time.Now()}
+	s := &Span{tracer: t, source: source, name: name, id: spanSeq.Add(1), start: time.Now()}
 	t.mu.Lock()
 	t.roots = append(t.roots, s)
 	t.mu.Unlock()
 	return s
+}
+
+// DropRoot removes a root span (and its whole subtree) from the tracer, so
+// tail sampling can discard negotiations that turned out fast enough not to
+// keep. No-op when s is not a root of t.
+func (t *Tracer) DropRoot(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	for i, r := range t.roots {
+		if r == s {
+			t.roots = append(t.roots[:i], t.roots[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
 }
 
 // Roots returns a snapshot of the recorded root spans in creation order.
@@ -70,6 +88,10 @@ func (t *Tracer) Roots() []*Span {
 	return append([]*Span(nil), t.roots...)
 }
 
+// spanSeq issues process-unique span IDs. IDs exist so a remote parent can be
+// named in a TraceContext; 0 is reserved for "no span" (the nil receiver).
+var spanSeq atomic.Uint64
+
 // Span is one timed region of a span tree. All methods are safe on a nil
 // receiver and safe for concurrent use (children may be added from several
 // goroutines, e.g. during RFB fan-out).
@@ -77,12 +99,22 @@ type Span struct {
 	tracer *Tracer
 	source string
 	name   string
+	id     uint64
 	start  time.Time
 
 	mu       sync.Mutex
 	end      time.Time
 	attrs    []Attr
 	children []*Span
+}
+
+// ID returns the span's process-unique identifier (0 for nil). Carried as
+// TraceContext.Parent so a remote subtree can be grafted under this span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Child opens a sub-span. Nil-safe: a nil parent returns a nil child, so an
@@ -108,7 +140,7 @@ func (s *Span) child(source, name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tracer: s.tracer, source: source, name: name, start: time.Now()}
+	c := &Span{tracer: s.tracer, source: source, name: name, id: spanSeq.Add(1), start: time.Now()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -137,6 +169,18 @@ func (s *Span) End() {
 		s.end = now
 	}
 	s.mu.Unlock()
+}
+
+// Ended reports whether End has been called. Exporters use it to mark spans
+// caught mid-flight (e.g. stragglers cut by a round deadline) as unfinished
+// instead of rendering a bogus zero duration.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.end.IsZero()
 }
 
 // Name returns the span name ("" for nil).

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SampleMode selects the head-sampling policy for distributed traces.
+type SampleMode int
+
+const (
+	// SampleAlways traces every negotiation (the zero value, and the
+	// behavior of a nil *Sampling).
+	SampleAlways SampleMode = iota
+	// SampleNever traces nothing: no trace data is recorded or shipped, and
+	// message wire sizes are identical to a build without tracing.
+	SampleNever
+	// SampleRatio traces a seeded pseudo-random fraction Ratio of
+	// negotiations.
+	SampleRatio
+)
+
+// Sampling decides which negotiations become distributed traces. The head
+// decision is made once per optimization by the buyer and carried on every
+// message via TraceContext.Sampled. TailSlower adds tail sampling: trace
+// data is then collected for every negotiation, but the buyer drops the
+// finished trace unless the head decision said keep or the negotiation was
+// at least TailSlower slow — catching exactly the outliers worth looking at.
+//
+// A single *Sampling is shared across optimizations (it owns the seeded rng
+// state); nil means SampleAlways.
+type Sampling struct {
+	Mode  SampleMode
+	Ratio float64 // fraction sampled when Mode == SampleRatio
+	Seed  int64   // rng seed for SampleRatio (0 → 1), fixed for reproducibility
+	// TailSlower, when > 0, keeps traces of negotiations at least this slow
+	// even when head sampling said no.
+	TailSlower time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// SampleHead draws the head decision for one negotiation.
+func (s *Sampling) SampleHead() bool {
+	if s == nil {
+		return true
+	}
+	switch s.Mode {
+	case SampleNever:
+		return false
+	case SampleRatio:
+		s.mu.Lock()
+		if s.rng == nil {
+			seed := s.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			s.rng = rand.New(rand.NewSource(seed))
+		}
+		v := s.rng.Float64()
+		s.mu.Unlock()
+		return v < s.Ratio
+	default:
+		return true
+	}
+}
+
+// Collect reports whether trace data should be gathered on the wire for a
+// negotiation with the given head decision — true when head-sampled, or
+// whenever tail sampling might still want the trace.
+func (s *Sampling) Collect(head bool) bool {
+	if s == nil {
+		return true
+	}
+	return head || s.TailSlower > 0
+}
+
+// Keep reports whether a finished negotiation's trace should be retained:
+// head-sampled traces always, otherwise only tail-kept slow ones.
+func (s *Sampling) Keep(head bool, wall time.Duration) bool {
+	if s == nil || head {
+		return true
+	}
+	return s.TailSlower > 0 && wall >= s.TailSlower
+}

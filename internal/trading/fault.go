@@ -397,13 +397,13 @@ type GuardedPeer struct {
 }
 
 // RequestBids implements Peer.
-func (g GuardedPeer) RequestBids(rfb RFB) ([]Offer, error) {
-	return guard(g.Policy, g.ID, func() ([]Offer, error) { return g.Peer.RequestBids(rfb) })
+func (g GuardedPeer) RequestBids(rfb RFB) (BidReply, error) {
+	return guard(g.Policy, g.ID, func() (BidReply, error) { return g.Peer.RequestBids(rfb) })
 }
 
 // ImproveBids implements Peer.
-func (g GuardedPeer) ImproveBids(req ImproveReq) ([]Offer, error) {
-	return guard(g.Policy, g.ID, func() ([]Offer, error) { return g.Peer.ImproveBids(req) })
+func (g GuardedPeer) ImproveBids(req ImproveReq) (BidReply, error) {
+	return guard(g.Policy, g.ID, func() (BidReply, error) { return g.Peer.ImproveBids(req) })
 }
 
 // FaultAware is implemented by protocols that can run their rounds under a

@@ -1,7 +1,9 @@
 package trading
 
 import (
+	"bytes"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -106,22 +108,22 @@ type flakyPeer struct {
 	calls atomic.Int32
 }
 
-func (p *flakyPeer) RequestBids(RFB) ([]Offer, error) {
+func (p *flakyPeer) RequestBids(RFB) (BidReply, error) {
 	if p.calls.Add(1) <= p.fails {
-		return nil, MarkTransient(errors.New("flaky"))
+		return BidReply{}, MarkTransient(errors.New("flaky"))
 	}
-	return []Offer{{OfferID: "f/1", SellerID: "f", Price: 1}}, nil
+	return BidReply{Offers: []Offer{{OfferID: "f/1", SellerID: "f", Price: 1}}}, nil
 }
 
-func (p *flakyPeer) ImproveBids(ImproveReq) ([]Offer, error) { return nil, nil }
+func (p *flakyPeer) ImproveBids(ImproveReq) (BidReply, error) { return BidReply{}, nil }
 
 func TestGuardRetriesTransientErrors(t *testing.T) {
 	m := obs.NewMetrics()
 	pol := &FaultPolicy{MaxRetries: 2, Backoff: time.Microsecond, Metrics: m}
 	peer := &flakyPeer{fails: 2}
-	offers, err := pol.Wrap("f", peer).RequestBids(RFB{})
-	if err != nil || len(offers) != 1 {
-		t.Fatalf("guarded call: %v %v", offers, err)
+	rep, err := pol.Wrap("f", peer).RequestBids(RFB{})
+	if err != nil || len(rep.Offers) != 1 {
+		t.Fatalf("guarded call: %v %v", rep, err)
 	}
 	if got := m.Counter("fault.retries").Value(); got != 2 {
 		t.Fatalf("retries: %d", got)
@@ -177,12 +179,12 @@ func TestGuardBreakerOpensAndRejects(t *testing.T) {
 // stallPeer blocks until released.
 type stallPeer struct{ release chan struct{} }
 
-func (p *stallPeer) RequestBids(RFB) ([]Offer, error) {
+func (p *stallPeer) RequestBids(RFB) (BidReply, error) {
 	<-p.release
-	return []Offer{{OfferID: "s/1", SellerID: "s", Price: 1}}, nil
+	return BidReply{Offers: []Offer{{OfferID: "s/1", SellerID: "s", Price: 1}}}, nil
 }
 
-func (p *stallPeer) ImproveBids(ImproveReq) ([]Offer, error) { return nil, nil }
+func (p *stallPeer) ImproveBids(ImproveReq) (BidReply, error) { return BidReply{}, nil }
 
 func TestRoundDeadlineCutsStragglers(t *testing.T) {
 	m := obs.NewMetrics()
@@ -206,6 +208,71 @@ func TestRoundDeadlineCutsStragglers(t *testing.T) {
 	if got := m.Counter("fault.rounds_deadline_cut").Value(); got != 1 {
 		t.Fatalf("round cuts: %d", got)
 	}
+}
+
+// TestStragglerSpanAnnotated pins the traced shape of a deadline-cut round:
+// the straggler's pre-created span is annotated deadline_exceeded and, being
+// still open when the trace is exported, renders as unfinished instead of
+// with a bogus zero duration.
+func TestStragglerSpanAnnotated(t *testing.T) {
+	m := obs.NewMetrics()
+	pol := &FaultPolicy{RoundTimeout: 10 * time.Millisecond, Metrics: m}
+	stall := &stallPeer{release: make(chan struct{})}
+	peers := map[string]Peer{
+		"fast":  &flakyPeer{},
+		"stall": stall,
+	}
+	tr := obs.NewTracer()
+	round := tr.Start("buyer", "round")
+	offers, _, err := SealedBid{Policy: pol}.Collect(RFB{RFBID: "r"}, peers, round)
+	round.End()
+	if err != nil || len(offers) != 1 {
+		t.Fatalf("collect: %v %v", offers, err)
+	}
+
+	// Collect opens one "round" child; the per-seller rfb spans live inside.
+	rounds := round.Children()
+	if len(rounds) != 1 || rounds[0].Name() != "round" {
+		t.Fatalf("want one protocol round span, got %v", rounds)
+	}
+	spanByName := map[string]*obs.Span{}
+	for _, c := range rounds[0].Children() {
+		spanByName[c.Name()] = c
+	}
+	stallSpan, fastSpan := spanByName["rfb stall"], spanByName["rfb fast"]
+	if stallSpan == nil || fastSpan == nil {
+		t.Fatalf("per-seller spans missing: %v", spanByName)
+	}
+	attr := func(sp *obs.Span, key string) (string, bool) {
+		for _, a := range sp.Attrs() {
+			if a.Key == key {
+				return a.Val, true
+			}
+		}
+		return "", false
+	}
+	if v, ok := attr(stallSpan, "deadline_exceeded"); !ok || v != "true" {
+		t.Fatalf("straggler span must be annotated deadline_exceeded: %v", stallSpan.Attrs())
+	}
+	if _, ok := attr(fastSpan, "deadline_exceeded"); ok {
+		t.Fatal("fast seller must not be annotated deadline_exceeded")
+	}
+	if stallSpan.Ended() {
+		t.Fatal("straggler span must still be open (its call never returned)")
+	}
+	// Export while the straggler is still blocked: tolerated, not zeroed.
+	text := tr.RenderText()
+	if !strings.Contains(text, "deadline_exceeded=true") || !strings.Contains(text, "unfinished=true") {
+		t.Fatalf("rendered trace must show the cut straggler:\n%s", text)
+	}
+	var jsonl bytes.Buffer
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"unfinished":true`) {
+		t.Fatalf("JSONL must flag the open span:\n%s", jsonl.String())
+	}
+	close(stall.release) // let the goroutine finish
 }
 
 func TestNilPolicyIsUnguarded(t *testing.T) {

@@ -11,6 +11,7 @@ package trading
 
 import (
 	"qtrade/internal/cost"
+	"qtrade/internal/obs"
 	"qtrade/internal/value"
 )
 
@@ -30,6 +31,9 @@ type RFB struct {
 	RFBID   string
 	BuyerID string
 	Depth   int
+	// Trace is the buyer's distributed-tracing context. The zero value means
+	// unsampled: sellers record nothing and the wire size is unchanged.
+	Trace   obs.TraceContext
 	Queries []QueryRequest
 }
 
@@ -86,9 +90,27 @@ func (o *Offer) WireSize() int {
 
 // WireSize estimates the network size of an RFB.
 func (r *RFB) WireSize() int {
-	n := 32 + len(r.RFBID) + len(r.BuyerID)
+	n := 32 + len(r.RFBID) + len(r.BuyerID) + r.Trace.WireSize()
 	for _, q := range r.Queries {
 		n += 24 + len(q.QID) + len(q.SQL)
+	}
+	return n
+}
+
+// BidReply is the seller's reply envelope for RequestBids/ImproveBids: the
+// offers plus, when the request's trace context was sampled, the seller's
+// finished span subtree for the exchange (nil otherwise). With a nil Trace
+// the wire size is exactly the pre-envelope framing + offers.
+type BidReply struct {
+	Offers []Offer
+	Trace  *obs.SpanPayload
+}
+
+// WireSize estimates the network size of the reply.
+func (r *BidReply) WireSize() int {
+	n := 8 + r.Trace.WireSize()
+	for i := range r.Offers {
+		n += r.Offers[i].WireSize()
 	}
 	return n
 }
@@ -99,6 +121,8 @@ func (r *RFB) WireSize() int {
 type ImproveReq struct {
 	RFBID   string
 	BuyerID string
+	// Trace is the buyer's distributed-tracing context (see RFB.Trace).
+	Trace obs.TraceContext
 	// BestPrice maps QID to the best price seen so far.
 	BestPrice map[string]float64
 	// Target maps QID to the buyer's counter-offer price; nil outside
@@ -108,7 +132,7 @@ type ImproveReq struct {
 
 // WireSize estimates the network size of an improvement request.
 func (r *ImproveReq) WireSize() int {
-	n := 32 + len(r.RFBID) + len(r.BuyerID)
+	n := 32 + len(r.RFBID) + len(r.BuyerID) + r.Trace.WireSize()
 	n += 24 * (len(r.BestPrice) + len(r.Target))
 	return n
 }
@@ -130,20 +154,26 @@ type ExecReq struct {
 	BuyerID string
 	OfferID string
 	SQL     string
+	// Trace is the buyer's distributed-tracing context (see RFB.Trace).
+	Trace obs.TraceContext
 }
 
 // WireSize estimates the network size of an execution request.
-func (e *ExecReq) WireSize() int { return 24 + len(e.BuyerID) + len(e.OfferID) + len(e.SQL) }
+func (e *ExecReq) WireSize() int {
+	return 24 + len(e.BuyerID) + len(e.OfferID) + len(e.SQL) + e.Trace.WireSize()
+}
 
-// ExecResp carries a shipped query answer.
+// ExecResp carries a shipped query answer and, when the request was sampled,
+// the seller's execution span subtree.
 type ExecResp struct {
-	Cols []ColSpec
-	Rows []value.Row
+	Cols  []ColSpec
+	Rows  []value.Row
+	Trace *obs.SpanPayload
 }
 
 // WireSize estimates the network size of a shipped answer.
 func (e *ExecResp) WireSize() int {
-	n := 16 + 24*len(e.Cols)
+	n := 16 + 24*len(e.Cols) + e.Trace.WireSize()
 	for _, r := range e.Rows {
 		for _, v := range r {
 			switch v.K {

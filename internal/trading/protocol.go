@@ -9,10 +9,11 @@ import (
 
 // Peer is the buyer's handle to one seller node. Implementations count
 // messages and simulate transport (see the netsim package) or speak real
-// RPC (see cmd/qtnode).
+// RPC (see cmd/qtnode). Replies are BidReply envelopes so a sampled seller
+// can piggyback its span subtree on the offers.
 type Peer interface {
-	RequestBids(RFB) ([]Offer, error)
-	ImproveBids(ImproveReq) ([]Offer, error)
+	RequestBids(RFB) (BidReply, error)
+	ImproveBids(ImproveReq) (BidReply, error)
 }
 
 // Protocol is a negotiation protocol: it runs the message exchange of one
@@ -30,34 +31,47 @@ type Protocol interface {
 // decline or die, and the negotiation must survive that. When pol sets a
 // RoundTimeout the round is cut at that deadline — the offers that already
 // arrived are used, peers still in flight are counted as stragglers (their
-// late replies are discarded through the buffered channel). With a nil
-// policy (or no RoundTimeout) gather waits for every peer, exactly the
-// pre-deadline semantics.
+// late replies are discarded through the buffered channel) and their spans
+// annotated deadline_exceeded while still open (export renders them
+// unfinished=true). With a nil policy (or no RoundTimeout) gather waits for
+// every peer, exactly the pre-deadline semantics.
+//
+// Per-seller spans are created before the goroutines launch so the deadline
+// branch can annotate stragglers; each call gets the span's ID as the remote
+// parent, and a reply that carries a trace payload is grafted under that
+// span. The fault layer retries inside call and returns at most one reply
+// (abandoned timed-out attempts are discarded before they surface), so a
+// retried call can never graft a duplicate subtree.
 func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPolicy,
-	call func(id string, p Peer) ([]Offer, error)) []Offer {
+	call func(id string, p Peer, parent uint64) (BidReply, error)) []Offer {
 
 	type reply struct {
+		id     string
 		offers []Offer
 		ok     bool
 	}
+	spans := make(map[string]*obs.Span, len(peers))
+	if round != nil {
+		for id := range peers {
+			spans[id] = round.Child(label + " " + id)
+		}
+	}
 	ch := make(chan reply, len(peers))
 	for id, p := range peers {
-		go func(id string, p Peer) {
-			var ss *obs.Span
-			if round != nil {
-				ss = round.Child(label + " " + id)
-			}
-			offers, err := call(id, p)
+		go func(id string, p Peer, ss *obs.Span) {
+			sentAt := time.Now()
+			rep, err := call(id, p, ss.ID())
 			if err != nil {
 				ss.Set("error", err)
 				ss.End()
-				ch <- reply{ok: false}
+				ch <- reply{id: id, ok: false}
 				return
 			}
-			ss.Set("offers", len(offers))
+			ss.Set("offers", len(rep.Offers))
+			ss.Graft(rep.Trace, sentAt, time.Now())
 			ss.End()
-			ch <- reply{offers: offers, ok: true}
-		}(id, p)
+			ch <- reply{id: id, offers: rep.Offers, ok: true}
+		}(id, p, spans[id])
 	}
 	var deadline <-chan time.Time
 	if pol != nil && pol.RoundTimeout > 0 {
@@ -67,10 +81,15 @@ func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPoli
 	}
 	var all []Offer
 	received := 0
+	pending := make(map[string]bool, len(peers))
+	for id := range peers {
+		pending[id] = true
+	}
 	for received < len(peers) {
 		select {
 		case r := <-ch:
 			received++
+			delete(pending, r.id)
 			if r.ok {
 				all = append(all, r.offers...)
 			}
@@ -79,6 +98,9 @@ func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPoli
 			pol.obs().stragglers.Add(int64(stragglers))
 			pol.obs().roundCuts.Inc()
 			round.Set("stragglers", stragglers)
+			for id := range pending {
+				spans[id].Set("deadline_exceeded", true)
+			}
 			received = len(peers)
 		}
 	}
@@ -87,14 +109,22 @@ func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPoli
 }
 
 func fanOut(rfb RFB, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) []Offer {
-	return gather("rfb", peers, round, pol, func(id string, p Peer) ([]Offer, error) {
-		return p.RequestBids(rfb)
+	return gather("rfb", peers, round, pol, func(id string, p Peer, parent uint64) (BidReply, error) {
+		r := rfb
+		if r.Trace.Sampled {
+			r.Trace.Parent = parent
+		}
+		return p.RequestBids(r)
 	})
 }
 
 func improveRound(req ImproveReq, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) []Offer {
-	return gather("improve", peers, round, pol, func(id string, p Peer) ([]Offer, error) {
-		return p.ImproveBids(req)
+	return gather("improve", peers, round, pol, func(id string, p Peer, parent uint64) (BidReply, error) {
+		r := req
+		if r.Trace.Sampled {
+			r.Trace.Parent = parent
+		}
+		return p.ImproveBids(r)
 	})
 }
 
@@ -202,7 +232,7 @@ func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]O
 	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
-		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: bestPrices(offers)}
+		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, Trace: rfb.Trace, BestPrice: bestPrices(offers)}
 		round = roundSpan(sp, used+1)
 		improved := improveRound(req, peers, round, p.Policy)
 		round.End()
@@ -251,7 +281,7 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer,
 		for qid, b := range best {
 			target[qid] = buyer.CounterOffer(qid, b)
 		}
-		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, BestPrice: best, Target: target}
+		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, Trace: rfb.Trace, BestPrice: best, Target: target}
 		round = roundSpan(sp, used+1)
 		improved := improveRound(req, peers, round, p.Policy)
 		round.End()

@@ -21,9 +21,9 @@ type fakeSeller struct {
 	improves int
 }
 
-func (f *fakeSeller) RequestBids(rfb RFB) ([]Offer, error) {
+func (f *fakeSeller) RequestBids(rfb RFB) (BidReply, error) {
 	if f.fail {
-		return nil, errors.New("down")
+		return BidReply{}, errors.New("down")
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -36,12 +36,12 @@ func (f *fakeSeller) RequestBids(rfb RFB) ([]Offer, error) {
 			Props: cost.Valuation{TotalTime: f.floor},
 		})
 	}
-	return out, nil
+	return BidReply{Offers: out}, nil
 }
 
-func (f *fakeSeller) ImproveBids(req ImproveReq) ([]Offer, error) {
+func (f *fakeSeller) ImproveBids(req ImproveReq) (BidReply, error) {
 	if f.fail {
-		return nil, errors.New("down")
+		return BidReply{}, errors.New("down")
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -62,7 +62,7 @@ func (f *fakeSeller) ImproveBids(req ImproveReq) ([]Offer, error) {
 			SellerID: f.id, Price: f.current,
 		})
 	}
-	return out, nil
+	return BidReply{Offers: out}, nil
 }
 
 func rfb1() RFB {

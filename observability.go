@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"qtrade/internal/core"
 	"qtrade/internal/exec"
@@ -16,8 +17,58 @@ import (
 // seller's rewrite/DP pricing, plan generation, the predicates analyser, and
 // the final awards. Retrieve it with Plan.Trace(). Tracing is strictly
 // opt-in; without this option the instrumented paths reduce to nil checks.
+//
+// The trace is federation-wide: each RFB carries a trace context, sellers
+// record their pricing (and any Depth-1 subcontract negotiation) into a span
+// subtree shipped back with their offers, and the buyer grafts those
+// subtrees under the matching "RequestBids <seller>" span with a
+// Cristian-style clock-offset correction — so one negotiation renders as one
+// tree even when the sellers are separate processes (see netsim.RPCPeer).
 func WithTrace() OptimizeOption {
 	return func(c *core.Config) { c.Tracer = obs.NewTracer() }
+}
+
+// Sampling is a trace sampling policy for WithTraceSampling. The zero value
+// samples every negotiation.
+type Sampling struct {
+	mode       obs.SampleMode
+	ratio      float64
+	seed       int64
+	tailSlower time.Duration
+}
+
+// SampleAlways traces every negotiation (the WithTrace default).
+func SampleAlways() Sampling { return Sampling{mode: obs.SampleAlways} }
+
+// SampleNever traces nothing: no buyer spans are retained and no trace
+// context ships on the wire, so offers are byte-identical to an untraced run.
+func SampleNever() Sampling { return Sampling{mode: obs.SampleNever} }
+
+// SampleRatio traces a pseudo-random fraction p (0..1) of negotiations.
+func SampleRatio(p float64) Sampling { return Sampling{mode: obs.SampleRatio, ratio: p} }
+
+// Seeded pins the ratio sampler's random stream for reproducible runs.
+func (s Sampling) Seeded(seed int64) Sampling { s.seed = seed; return s }
+
+// KeepSlower adds tail sampling: negotiations slower than d are kept even
+// when the head decision said no. Spans are then always collected on the
+// wire (the decision to keep can only be made once the wall time is known),
+// so combine with SampleRatio when wire overhead matters.
+func (s Sampling) KeepSlower(d time.Duration) Sampling { s.tailSlower = d; return s }
+
+// WithTraceSampling is WithTrace under a sampling policy: the head decision
+// is taken once per optimization and propagated federation-wide in the trace
+// context, so sellers skip payload collection entirely for unsampled
+// negotiations. Plan.Trace() renders empty when the negotiation was not
+// kept. The policy (and its random stream) lives in the returned option —
+// store the option and reuse it across queries so SampleRatio converges on
+// the requested fraction.
+func WithTraceSampling(s Sampling) OptimizeOption {
+	pol := &obs.Sampling{Mode: s.mode, Ratio: s.ratio, Seed: s.seed, TailSlower: s.tailSlower}
+	return func(c *core.Config) {
+		c.Tracer = obs.NewTracer()
+		c.Sampling = pol
+	}
 }
 
 // Trace is the recorded span forest of one traced optimization (and, if the
@@ -62,13 +113,17 @@ func (p *Plan) Trace() *Trace { return &Trace{tr: p.tracer} }
 // namesake, it really runs the query (purchased answers are fetched from
 // their sellers).
 func (p *Plan) ExplainAnalyze() (string, error) {
-	if p.tracer != nil {
+	if p.tracer != nil && !p.sampled {
 		p.fed.setNodeTracer(p.tracer)
 		defer p.fed.setNodeTracer(nil)
 	}
 	st := exec.NewRunStats()
 	ex := &exec.Executor{Store: p.fed.nodes[p.buyer].inner.Store(), Stats: st}
-	if _, err := core.ExecuteResult(&core.NetComm{Net: p.fed.net, SelfID: p.buyer}, ex, p.res); err != nil {
+	tr := p.tracer
+	if p.sampled && !p.res.TraceCtx.Sampled {
+		tr = nil
+	}
+	if _, err := core.ExecuteResultTraced(&core.NetComm{Net: p.fed.net, SelfID: p.buyer}, ex, p.res, tr); err != nil {
 		return "", err
 	}
 	return core.ExplainAnalyze(p.res, st), nil

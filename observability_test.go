@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"qtrade/internal/obs"
 )
@@ -96,21 +97,31 @@ func TestTraceSpanTreeShape(t *testing.T) {
 		t.Fatal("no per-seller rfb spans inside protocol rounds")
 	}
 
-	// Seller-side pricing appears as request-bids roots on the sellers'
-	// own tracks, with rewrite and DP pricing children.
-	var sellerRoots []*obs.Span
-	for _, r := range tr.Roots() {
-		if r.Name() == "request-bids" && r.Source() != "hq" {
-			sellerRoots = append(sellerRoots, r)
-		}
-	}
+	// Seller-side pricing ships back with the offers and is grafted under
+	// the buyer's per-seller rfb spans: one federation-wide tree, with the
+	// sellers' rewrite and DP pricing nested inside (marked remote=true).
+	sellerRoots := collectSpans(root, "request-bids")
 	if len(sellerRoots) == 0 {
-		t.Fatal("no seller-side request-bids spans")
+		t.Fatal("no seller-side request-bids spans grafted into the buyer tree")
 	}
-	var rewrites, pricings int
+	var rewrites, pricings, remotes, foreign int
 	for _, r := range sellerRoots {
+		if r.Source() != "hq" {
+			foreign++ // a real peer's pricing, not the buyer's self-bid
+		}
+		for _, a := range r.Attrs() {
+			if a.Key == "remote" && a.Val == "true" {
+				remotes++
+			}
+		}
 		rewrites += len(collectSpans(r, "rewrite"))
 		pricings += len(collectSpans(r, "dp-pricing"))
+	}
+	if foreign == 0 {
+		t.Fatal("no remote-seller request-bids spans grafted into the buyer tree")
+	}
+	if remotes != len(sellerRoots) {
+		t.Fatalf("grafted seller spans missing remote=true: %d of %d", remotes, len(sellerRoots))
 	}
 	if rewrites == 0 || pricings == 0 {
 		t.Fatalf("seller spans missing rewrite (%d) or dp-pricing (%d)", rewrites, pricings)
@@ -119,6 +130,89 @@ func TestTraceSpanTreeShape(t *testing.T) {
 	// The award phase closes the tree.
 	if len(collectSpans(root, "award")) != 1 {
 		t.Fatal("missing award span")
+	}
+}
+
+// TestSampleNeverWireBytesIdentical pins the acceptance bound: with sampling
+// off, the bytes on the wire are byte-identical to a federation that never
+// heard of tracing — the trace context and payload envelope must cost zero
+// when unsampled.
+func TestSampleNeverWireBytesIdentical(t *testing.T) {
+	run := func(opts ...OptimizeOption) (int64, int64) {
+		fed := buildBenchFed()
+		p, err := fed.Optimize("hq", benchTotalsQuery, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fed.NetworkStats()
+	}
+	plainMsgs, plainBytes := run()
+	neverMsgs, neverBytes := run(WithTraceSampling(SampleNever()))
+	if neverMsgs != plainMsgs || neverBytes != plainBytes {
+		t.Fatalf("SampleNever must be wire-identical to tracing off:\nplain %d msgs %d bytes\nnever %d msgs %d bytes",
+			plainMsgs, plainBytes, neverMsgs, neverBytes)
+	}
+	// A sampled negotiation pays for its piggybacked span payloads.
+	alwaysMsgs, alwaysBytes := run(WithTrace())
+	if alwaysMsgs != plainMsgs {
+		t.Fatalf("tracing must not add messages: %d vs %d", alwaysMsgs, plainMsgs)
+	}
+	if alwaysBytes <= plainBytes {
+		t.Fatalf("sampled run must account trace payload bytes: %d vs %d", alwaysBytes, plainBytes)
+	}
+}
+
+// TestTraceSamplingPolicies drives the public sampling API end to end.
+func TestTraceSamplingPolicies(t *testing.T) {
+	fed := buildBenchFed()
+
+	p, err := fed.Optimize("hq", benchTotalsQuery, WithTraceSampling(SampleNever()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trace().Text() != "" {
+		t.Fatalf("SampleNever must retain nothing:\n%s", p.Trace().Text())
+	}
+
+	p, err = fed.Optimize("hq", benchTotalsQuery, WithTraceSampling(SampleAlways()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := p.Trace().Text(); !strings.Contains(txt, "dp-pricing") || !strings.Contains(txt, "remote=true") {
+		t.Fatalf("SampleAlways must keep the federation-wide tree:\n%s", txt)
+	}
+
+	// Ratio 0 behaves as never, ratio 1 as always; the seeded stream is the
+	// policy's, so reusing one option across queries is safe.
+	opt := WithTraceSampling(SampleRatio(0).Seeded(7))
+	for i := 0; i < 3; i++ {
+		p, err = fed.Optimize("hq", benchTotalsQuery, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Trace().Text() != "" {
+			t.Fatal("ratio 0 must never sample")
+		}
+	}
+	p, err = fed.Optimize("hq", benchTotalsQuery, WithTraceSampling(SampleRatio(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trace().Text() == "" {
+		t.Fatal("ratio 1 must always sample")
+	}
+
+	// Tail sampling: head says never, but any negotiation slower than 0 is
+	// kept — the keep-the-outliers path.
+	p, err = fed.Optimize("hq", benchTotalsQuery, WithTraceSampling(SampleRatio(0).KeepSlower(time.Nanosecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := p.Trace().Text(); !strings.Contains(txt, "optimize") {
+		t.Fatalf("tail sampling must keep the slow negotiation:\n%s", txt)
 	}
 }
 

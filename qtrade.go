@@ -338,10 +338,11 @@ func WithMaxIterations(n int) OptimizeOption {
 
 // Plan is an optimized distributed execution plan.
 type Plan struct {
-	res    *core.Result
-	buyer  string
-	fed    *Federation
-	tracer *obs.Tracer
+	res     *core.Result
+	buyer   string
+	fed     *Federation
+	tracer  *obs.Tracer
+	sampled bool // a sampling policy governs this plan's trace
 }
 
 // Optimize runs query-trading optimization from the named buyer node
@@ -355,7 +356,11 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.Tracer != nil {
+	// Under a sampling policy the sellers ship their span subtrees back with
+	// the replies (or stay silent when unsampled); attaching the buyer's
+	// tracer to every node is the legacy always-on path and would double- (or
+	// wrongly) record, so it stays reserved for plain WithTrace.
+	if cfg.Tracer != nil && cfg.Sampling == nil {
 		f.setNodeTracer(cfg.Tracer)
 		defer f.setNodeTracer(nil)
 	}
@@ -363,7 +368,7 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{res: res, buyer: buyer, fed: f, tracer: cfg.Tracer}, nil
+	return &Plan{res: res, buyer: buyer, fed: f, tracer: cfg.Tracer, sampled: cfg.Sampling != nil}, nil
 }
 
 // Explain renders the plan tree with the purchased offers.
@@ -401,12 +406,16 @@ type Result struct {
 // Run executes the plan: purchased answers are fetched from their sellers,
 // local operators run at the buyer.
 func (p *Plan) Run() (*Result, error) {
-	if p.tracer != nil {
+	if p.tracer != nil && !p.sampled {
 		p.fed.setNodeTracer(p.tracer)
 		defer p.fed.setNodeTracer(nil)
 	}
 	ex := &exec.Executor{Store: p.fed.nodes[p.buyer].inner.Store()}
-	res, err := core.ExecuteResult(&core.NetComm{Net: p.fed.net, SelfID: p.buyer}, ex, p.res)
+	tr := p.tracer
+	if p.sampled && !p.res.TraceCtx.Sampled {
+		tr = nil // unsampled negotiation: execution stays untraced too
+	}
+	res, err := core.ExecuteResultTraced(&core.NetComm{Net: p.fed.net, SelfID: p.buyer}, ex, p.res, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +472,7 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.Tracer != nil {
+	if cfg.Tracer != nil && cfg.Sampling == nil {
 		f.setNodeTracer(cfg.Tracer)
 		defer f.setNodeTracer(nil)
 	}

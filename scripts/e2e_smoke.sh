@@ -1,0 +1,73 @@
+#!/bin/sh
+# End-to-end smoke over real net/rpc: two qtnode server processes (with
+# Depth-1 subcontract peering and live /metrics exposition), one traced
+# qtsql query, then assertions that
+#   1. the buyer's saved trace contains at least one remote seller span
+#      (grafted from a qtnode process, not recorded in-process), and
+#   2. each node's /metrics endpoint serves Prometheus text that reflects
+#      the negotiation (TYPE lines + a non-zero RFB counter).
+set -eu
+
+dir="$(mktemp -d)"
+trap 'kill $corfu_pid $myconos_pid 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+echo "== build"
+go build -o "$dir/qtnode" ./cmd/qtnode
+go build -o "$dir/qtsql" ./cmd/qtsql
+
+echo "== start sellers"
+"$dir/qtnode" -id corfu -listen 127.0.0.1:7101 -office Corfu \
+    -obs-addr 127.0.0.1:9101 -peers myconos=127.0.0.1:7102 \
+    >"$dir/corfu.log" 2>&1 &
+corfu_pid=$!
+"$dir/qtnode" -id myconos -listen 127.0.0.1:7102 -office Myconos \
+    -obs-addr 127.0.0.1:9102 -peers corfu=127.0.0.1:7101 \
+    >"$dir/myconos.log" 2>&1 &
+myconos_pid=$!
+
+wait_serving() { # log file
+    for _ in $(seq 1 100); do
+        grep -q "serving office" "$1" 2>/dev/null && return 0
+        kill -0 $corfu_pid $myconos_pid 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "FAIL: node never came up"; cat "$1"; exit 1
+}
+wait_serving "$dir/corfu.log"
+wait_serving "$dir/myconos.log"
+
+echo "== traced query"
+printf '%s\n' \
+    '\trace on' \
+    "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')" \
+    "\\trace save $dir/trace.json" \
+    '\quit' \
+    | "$dir/qtsql" -connect corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
+        >"$dir/qtsql.log" 2>&1
+grep -q "wrote Chrome trace" "$dir/qtsql.log" || {
+    echo "FAIL: qtsql did not save a trace"; cat "$dir/qtsql.log"; exit 1; }
+
+echo "== assert remote seller spans in the buyer's trace"
+# The Chrome trace names one process per source node; seller-side pricing
+# spans only exist in the buyer's tree if they were shipped back over
+# net/rpc and grafted.
+for want in '"corfu"' '"myconos"' 'request-bids' 'dp-pricing'; do
+    grep -q -- "$want" "$dir/trace.json" || {
+        echo "FAIL: trace missing $want"; cat "$dir/trace.json"; exit 1; }
+done
+
+echo "== assert /metrics"
+for port in 9101 9102; do
+    curl -fsS "http://127.0.0.1:$port/metrics" >"$dir/metrics.$port"
+    grep -q '^# TYPE ' "$dir/metrics.$port" || {
+        echo "FAIL: no TYPE lines from :$port"; cat "$dir/metrics.$port"; exit 1; }
+done
+# The negotiation must be visible in the sellers' counters.
+grep -Eq '^node_corfu_rfbs [1-9]' "$dir/metrics.9101" || {
+    echo "FAIL: corfu served no RFBs"; cat "$dir/metrics.9101"; exit 1; }
+grep -Eq '^node_myconos_rfbs [1-9]' "$dir/metrics.9102" || {
+    echo "FAIL: myconos served no RFBs"; cat "$dir/metrics.9102"; exit 1; }
+# pprof rides on the same mux.
+curl -fsS "http://127.0.0.1:9101/debug/pprof/cmdline" >/dev/null
+
+echo "e2e smoke OK"
