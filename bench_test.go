@@ -182,6 +182,30 @@ func BenchmarkExpF14TraceOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF15Throughput regenerates F15: multi-client throughput under
+// the concurrent buyer. Two metrics are reported: the single-client fan-out
+// speedup at the widest federation (phase A's workers=0 row vs serial) and
+// the qps multiple reached by the widest closed-loop client sweep (the last
+// row's x_vs_base).
+func BenchmarkExpF15Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F15Throughput([]int{4, 8}, []int{1, 2, 4}, 4, int64(i))
+		// Phase A rows come first: sellers x {workers=1, workers=0}. The
+		// widest fan-out row is the last phase-A row.
+		fanout := tab.Rows[3]
+		if fanout[0] != "8" || fanout[2] != "0" {
+			b.Fatalf("unexpected F15 row layout: %v", tab.Rows)
+		}
+		v, err := strconv.ParseFloat(fanout[7], 64)
+		if err != nil {
+			b.Fatalf("F15 fanout speedup %q: %v", fanout[7], err)
+		}
+		b.ReportMetric(v, "fanout_x_at_8s")
+		lastRowMetric(b, tab, 7, "qps_x_at_4c")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

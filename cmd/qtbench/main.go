@@ -8,16 +8,20 @@
 //	qtbench -exp F3 -exp T1      # a subset
 //	qtbench -seed 7
 //	qtbench -exp F3 -trace f3.json -metrics  # Chrome trace + metrics dump
+//	qtbench -exp F15 -clients 1,2,4,8        # throughput at a custom client sweep
 //
 // -trace writes a Chrome trace_event file of every optimization the selected
 // experiments ran (load it in chrome://tracing or https://ui.perfetto.dev);
-// -metrics prints the buyer/seller metrics snapshot after the run.
+// -metrics prints the buyer/seller metrics snapshot after the run;
+// -clients overrides the closed-loop client counts the F15 throughput
+// experiment sweeps.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"qtrade/internal/experiments"
@@ -35,8 +39,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metricsDump := flag.Bool("metrics", false, "print the metrics snapshot after the run")
-	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F14; default all")
+	clients := flag.String("clients", "", "comma-separated closed-loop client counts for F15 (e.g. 1,2,4,8)")
+	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F15; default all")
 	flag.Parse()
+
+	if *clients != "" {
+		var counts []int
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "qtbench: -clients wants positive ints, got %q\n", part)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		experiments.SetF15Clients(counts)
+	}
 
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
@@ -69,7 +87,7 @@ func main() {
 		printed++
 	}
 	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F14)\n", exps)
+		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F15)\n", exps)
 		os.Exit(1)
 	}
 

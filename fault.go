@@ -143,6 +143,8 @@ func (f *Federation) EnableFaultTolerance(ft FaultTolerance) {
 		}, f.metrics),
 		Metrics: f.metrics,
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.faults = pol
 	for _, n := range f.nodes {
 		n.inner.SetFaultPolicy(pol)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -89,6 +90,14 @@ type Config struct {
 	// Metrics, when set, receives buyer-side counters/histograms under
 	// "buyer.<id>.". Nil costs nothing.
 	Metrics *obs.Metrics
+	// Workers bounds the buyer's own fan-out: the per-round RFB/improve
+	// dispatch of ConcurrencyAware protocols and the execution-time fetch of
+	// remote plan leaves. 0 (the default) means one in-flight call per
+	// seller — the full fan-out; 1 means strictly serial in deterministic
+	// order; n > 1 caps the in-flight calls at n. Whatever the setting, the
+	// assembled offer pool and the chosen plan are byte-identical (replies
+	// are collected positionally and re-sorted).
+	Workers int
 }
 
 // Stats reports what one optimization cost.
@@ -124,6 +133,9 @@ type Result struct {
 	// federation-wide trace across the purchased-answer fetches.
 	BuyerID  string
 	TraceCtx obs.TraceContext
+	// Workers carries Config.Workers into execution so the remote-leaf
+	// prefetch honours the same fan-out bound as the negotiation.
+	Workers int
 }
 
 var rfbSeq atomic.Int64
@@ -198,6 +210,11 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	if cfg.Faults != nil {
 		if fa, ok := cfg.Protocol.(trading.FaultAware); ok {
 			cfg.Protocol = fa.WithPolicy(cfg.Faults)
+		}
+	}
+	if cfg.Workers != 0 {
+		if ca, ok := cfg.Protocol.(trading.ConcurrencyAware); ok {
+			cfg.Protocol = ca.WithWorkers(cfg.Workers)
 		}
 	}
 	if cfg.Mode == "" {
@@ -423,7 +440,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	}
 	sort.Slice(finalPool, func(i, j int) bool { return finalPool[i].OfferID < finalPool[j].OfferID })
 	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool,
-		BuyerID: cfg.ID, TraceCtx: tctx}, nil
+		BuyerID: cfg.ID, TraceCtx: tctx, Workers: cfg.Workers}, nil
 }
 
 // ExecuteResult runs the winning plan: Remote leaves are fetched from their
@@ -451,6 +468,14 @@ func ExecuteResultTraced(comm Comm, localExec *exec.Executor, res *Result, tr *o
 
 // executeUnder runs the winning plan with every remote fetch recorded as a
 // child of root (nil root = untraced, no context stamped on the wire).
+//
+// When the plan buys from more than one remote leaf and res.Workers allows
+// it, the leaves are prefetched concurrently (bounded by the same worker
+// knob as the negotiation fan-out) and the executor's sequential tree walk
+// is served from the prefetched answers. Answers are queued FIFO per
+// (seller, SQL, offer) key so every walk step consumes exactly the fetch
+// issued for its own leaf — message accounting and error attribution stay
+// identical to the serial walk.
 func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Span) (*exec.Result, error) {
 	ex := &exec.Executor{}
 	if localExec != nil {
@@ -458,7 +483,7 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 		ex.Stats = localExec.Stats
 	}
 	traced := root != nil && res.TraceCtx.Sampled
-	ex.Fetch = func(nodeID, sql, offerID string) (*exec.Result, error) {
+	fetchOne := func(nodeID, sql, offerID string) (*exec.Result, error) {
 		fs := root.Child("fetch " + nodeID)
 		req := trading.ExecReq{SQL: sql, OfferID: offerID}
 		if traced {
@@ -480,7 +505,67 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 		}
 		return &exec.Result{Cols: cols, Rows: resp.Rows}, nil
 	}
+	ex.Fetch = fetchOne
+	// plan.Remotes walks the tree in the same pre-order the executor fetches.
+	if remotes := plan.Remotes(res.Candidate.Root); len(remotes) > 1 && res.Workers != 1 {
+		ex.Fetch = prefetchRemotes(remotes, res.Workers, fetchOne)
+	}
 	return ex.Run(res.Candidate.Root)
+}
+
+// prefetchRemotes fetches every remote leaf concurrently — at most `workers`
+// calls in flight (0 = one per leaf) — and returns a Fetch that serves the
+// executor's sequential walk from the prefetched answers. Results are keyed
+// by (seller, SQL, offer) and consumed FIFO, so a plan that buys the same
+// offer twice still performs (and accounts) one fetch per leaf, and the walk
+// surfaces exactly the error of its own leaf's fetch. The returned Fetch is
+// only called from the executor's single goroutine, so the queue map needs
+// no lock.
+func prefetchRemotes(remotes []*plan.Remote, workers int,
+	fetchOne func(nodeID, sql, offerID string) (*exec.Result, error)) func(string, string, string) (*exec.Result, error) {
+
+	type fetched struct {
+		res *exec.Result
+		err error
+	}
+	results := make([]fetched, len(remotes))
+	if workers <= 0 || workers > len(remotes) {
+		workers = len(remotes)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(remotes) {
+					return
+				}
+				r := remotes[i]
+				res, err := fetchOne(r.NodeID, r.SQL, r.OfferID)
+				results[i] = fetched{res: res, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	queues := make(map[string][]fetched, len(remotes))
+	for i, r := range remotes {
+		k := r.NodeID + "\x00" + r.SQL + "\x00" + r.OfferID
+		queues[k] = append(queues[k], results[i])
+	}
+	return func(nodeID, sql, offerID string) (*exec.Result, error) {
+		k := nodeID + "\x00" + sql + "\x00" + offerID
+		q := queues[k]
+		if len(q) == 0 {
+			// A leaf the pre-walk did not see (defensive): fetch it directly.
+			return fetchOne(nodeID, sql, offerID)
+		}
+		queues[k] = q[1:]
+		return q[0].res, q[0].err
+	}
 }
 
 // ExplainResult renders the winning plan and its purchases.

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/trading"
+)
+
+// rfbNum extracts the global sequence numbers minted for a run's RFB ids so
+// canonPool can rewrite them to per-run iteration indexes: two otherwise
+// identical optimizations never share absolute rfb numbers (the sequence is
+// process-global), so byte comparison must happen modulo that numbering.
+var rfbNum = regexp.MustCompile(`-rfb(\d+)`)
+
+// canonPool renders an offer pool as canonical bytes: rfb sequence numbers
+// are replaced by their per-run rank, map-valued fields are serialized in
+// sorted order, and the canonical offer lines themselves are sorted. Two
+// runs of the same negotiation must produce equal canonical pools whatever
+// the fan-out interleaving.
+func canonPool(t *testing.T, offers []trading.Offer) string {
+	t.Helper()
+	nums := map[int]bool{}
+	for _, o := range offers {
+		for _, m := range rfbNum.FindAllStringSubmatch(o.RFBID+" "+o.OfferID, -1) {
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatalf("rfb number %q: %v", m[1], err)
+			}
+			nums[n] = true
+		}
+	}
+	order := make([]int, 0, len(nums))
+	for n := range nums {
+		order = append(order, n)
+	}
+	sort.Ints(order)
+	rank := make(map[string]string, len(order))
+	for i, n := range order {
+		rank["-rfb"+strconv.Itoa(n)] = "-rfb#" + strconv.Itoa(i)
+	}
+	canon := func(s string) string {
+		return rfbNum.ReplaceAllStringFunc(s, func(m string) string { return rank[m] })
+	}
+	lines := make([]string, len(offers))
+	for i, o := range offers {
+		lines[i] = fmt.Sprintf("%s|%s|%s|%s|%s|%v|%s|%v%v%v%v|%v|%+v|%.9f",
+			canon(o.OfferID), canon(o.RFBID), o.QID, o.SellerID, o.SQL,
+			o.Bindings, partsKey(o), o.Complete, o.Stripped, o.FromView,
+			o.PartialAgg, o.Cols, o.Props, o.Price)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// runFanout optimizes and executes the paper query with the given buyer
+// worker bound and returns the canonical pool, the canonical purchased
+// offers, the plan explanation and the result rows.
+func runFanout(t *testing.T, workers int, protocol trading.Protocol) (pool, bought, explain string, rows []string) {
+	t.Helper()
+	f := buildFederation(t, nil)
+	cfg := athensCfg(f)
+	cfg.Workers = workers
+	cfg.Protocol = protocol
+	res, got := optimizeAndRun(t, f, cfg, paperQuery)
+	if res.Workers != workers {
+		t.Fatalf("Result.Workers = %d, want %d", res.Workers, workers)
+	}
+	return canonPool(t, res.Pool), canonPool(t, res.Candidate.Offers), ExplainResult(res), got
+}
+
+// TestBuyerFanoutMatchesSerial pins the tentpole invariant: the buyer's
+// bounded parallel fan-out (RFB rounds, improve rounds, and execution-time
+// prefetch of remote leaves) assembles an offer pool, plan choice and answer
+// byte-identical to the strictly serial path, for every protocol and worker
+// bound, including under GOMAXPROCS=1.
+func TestBuyerFanoutMatchesSerial(t *testing.T) {
+	protocols := map[string]func() trading.Protocol{
+		"sealed":    func() trading.Protocol { return trading.SealedBid{} },
+		"iterative": func() trading.Protocol { return trading.IterativeBid{MaxRounds: 3} },
+		"bargain":   func() trading.Protocol { return trading.Bargain{MaxRounds: 3} },
+	}
+	for name, mk := range protocols {
+		t.Run(name, func(t *testing.T) {
+			basePool, baseBought, baseExplain, baseRows := runFanout(t, 1, mk())
+			for _, workers := range []int{0, 2, 8} {
+				pool, bought, explain, rows := runFanout(t, workers, mk())
+				if pool != basePool {
+					t.Errorf("workers=%d pool differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, basePool, pool)
+				}
+				if bought != baseBought {
+					t.Errorf("workers=%d purchased offers differ:\nserial   %s\nparallel %s",
+						workers, baseBought, bought)
+				}
+				if explain != baseExplain {
+					t.Errorf("workers=%d plan differs:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, baseExplain, explain)
+				}
+				if strings.Join(rows, "|") != strings.Join(baseRows, "|") {
+					t.Errorf("workers=%d answer differs:\ngot  %v\nwant %v", workers, rows, baseRows)
+				}
+			}
+		})
+	}
+	t.Run("gomaxprocs-1", func(t *testing.T) {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		basePool, _, _, baseRows := runFanout(t, 1, trading.IterativeBid{MaxRounds: 3})
+		pool, _, _, rows := runFanout(t, 0, trading.IterativeBid{MaxRounds: 3})
+		if pool != basePool {
+			t.Errorf("GOMAXPROCS=1 pool differs:\n--- serial ---\n%s\n--- parallel ---\n%s", basePool, pool)
+		}
+		if strings.Join(rows, "|") != strings.Join(baseRows, "|") {
+			t.Errorf("GOMAXPROCS=1 answer differs:\ngot  %v\nwant %v", rows, baseRows)
+		}
+	})
+}
+
+// TestPrefetchServesEachLeafOnce pins the execution-time prefetch contract:
+// a multi-leaf plan performs exactly one fetch per remote leaf (message
+// accounting identical to the serial walk), whatever the worker bound.
+func TestPrefetchServesEachLeafOnce(t *testing.T) {
+	var serial int64 = -1
+	for _, workers := range []int{1, 0, 2} {
+		f := buildFederation(t, nil)
+		cfg := athensCfg(f)
+		cfg.Workers = workers
+		comm := &NetComm{Net: f.net, SelfID: "athens"}
+		res, err := Optimize(cfg, comm, paperQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.net.Reset()
+		ex := &exec.Executor{Store: f.athens.Store()}
+		if _, err := ExecuteResult(comm, ex, res); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		msgs, _ := f.net.Stats()
+		if serial == -1 {
+			serial = msgs // the workers=1 walk is the accounting baseline
+			continue
+		}
+		if msgs != serial {
+			t.Fatalf("workers=%d: %d execution messages, serial walk sent %d",
+				workers, msgs, serial)
+		}
+	}
+}

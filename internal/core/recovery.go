@@ -128,4 +128,3 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 	}
 	return nil, nil, maxRetries + 1, fmt.Errorf("core: recovery exhausted after %d retries: %w", maxRetries, lastErr)
 }
-

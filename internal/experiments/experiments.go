@@ -691,6 +691,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F12", func() *Table { return F12Chaos(4, seed) }},
 		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6}, []int{1, 2, 4, 8}, 2, seed) }},
 		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5}, 4, seed) }},
+		{"F15", func() *Table { return F15Throughput([]int{4, 8}, f15Clients, 4, seed) }},
 	}
 }
 
@@ -713,6 +714,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F12", func() *Table { return F12Chaos(20, seed) }},
 		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6, 12}, []int{1, 2, 4, 8}, 5, seed) }},
 		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5, 7}, 40, seed) }},
+		{"F15", func() *Table { return F15Throughput([]int{8, 16}, f15Clients, 12, seed) }},
 	}
 }
 

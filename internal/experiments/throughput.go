@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qtrade/internal/netsim"
+	"qtrade/internal/node"
+	"qtrade/internal/workload"
+)
+
+// f15Clients is the closed-loop client sweep the registered F15 specs run;
+// qtbench's -clients flag overrides it through SetF15Clients.
+var f15Clients = []int{1, 2, 4}
+
+// SetF15Clients overrides the closed-loop client sweep used by the F15 specs
+// in QuickSpecs and FullSpecs. Empty input keeps the default.
+func SetF15Clients(clients []int) {
+	if len(clients) > 0 {
+		f15Clients = clients
+	}
+}
+
+// F15Throughput measures the concurrent buyer end to end (extension): every
+// seller of a chain federation answers over links that sleep for real
+// (SlowNodeMS), so negotiation rounds are latency-bound the way a deployed
+// federation's are. Phase A runs a single client per federation size and
+// compares strictly serial RFB dispatch (workers=1) against the full
+// parallel fan-out (workers=0): the x_vs_base column is the fan-out speedup,
+// which grows with the number of sellers a round must reach. Phase B holds
+// the widest federation and scales closed-loop clients — each runs
+// optimize+execute back to back — reporting aggregate qps with p50/p95
+// per-query latency; x_vs_base is the qps multiple over the single-client
+// run. Price caches are disabled so every configuration pays full pricing
+// and the comparison is fair.
+func F15Throughput(sellerCounts, clientCounts []int, queriesPerClient int, seed int64) *Table {
+	t := &Table{
+		ID:     "F15",
+		Title:  "multi-client throughput (chain federation, slow sellers, parallel fan-out)",
+		Header: []string{"sellers", "clients", "workers", "queries", "qps", "p50_ms", "p95_ms", "x_vs_base"},
+	}
+	widest := 0
+	for _, s := range sellerCounts {
+		if s > widest {
+			widest = s
+		}
+	}
+	// Phase A: one client, serial dispatch vs full fan-out.
+	for _, sellers := range sellerCounts {
+		f, opts := f15Fed(sellers, seed)
+		serialQPS := 0.0
+		for _, workers := range []int{1, 0} {
+			qps, p50, p95 := f15Run(f, opts, 1, workers, queriesPerClient)
+			if workers == 1 {
+				serialQPS = qps
+			}
+			x := 1.0
+			if serialQPS > 0 {
+				x = qps / serialQPS
+			}
+			t.Rows = append(t.Rows, []string{
+				d(int64(sellers)), "1", d(int64(workers)), d(int64(queriesPerClient)),
+				f2(qps), f2(p50), f2(p95), f2(x),
+			})
+		}
+	}
+	// Phase B: closed-loop client scaling at the widest federation.
+	f, opts := f15Fed(widest, seed)
+	baseQPS := 0.0
+	for _, clients := range clientCounts {
+		qps, p50, p95 := f15Run(f, opts, clients, 0, queriesPerClient)
+		if baseQPS == 0 {
+			baseQPS = qps
+		}
+		x := 1.0
+		if baseQPS > 0 {
+			x = qps / baseQPS
+		}
+		t.Rows = append(t.Rows, []string{
+			d(int64(widest)), d(int64(clients)), "0", d(int64(clients * queriesPerClient)),
+			f2(qps), f2(p50), f2(p95), f2(x),
+		})
+	}
+	return t
+}
+
+// f15Fed builds a chain federation with the given number of sellers (nodes
+// n1..nN; the buyer n0 holds its round-robin share of fragments too). Every
+// call to a seller sleeps a fixed 4 ms, and statistics and price caches are
+// pre-arranged so timings compare negotiation and delivery, not lazy stats
+// construction or cache warmth.
+func f15Fed(sellers int, seed int64) (*workload.Federation, workload.ChainOptions) {
+	opts := workload.ChainOptions{
+		Relations: 3, RowsPerRel: 120, Parts: 2, Nodes: sellers + 1,
+		Seed: seed, SkipOracleData: true,
+		// Disable price caches: repeated sweeps over one federation must pay
+		// identical pricing cost whatever ran before them.
+		Configure: func(c *node.Config) { c.PriceCacheSize = -1 },
+	}
+	f := workload.NewChain(opts)
+	slow := make(map[string]float64, sellers)
+	for i := 1; i <= sellers; i++ {
+		slow[fmt.Sprintf("n%d", i)] = 4
+	}
+	f.Net.SetFaultPlan(&netsim.FaultPlan{Seed: seed, SlowNodeMS: slow})
+	for _, n := range f.Nodes {
+		for _, table := range n.Store().Tables() {
+			if _, err := n.Store().TableStats(table); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return f, opts
+}
+
+// f15Run drives clients closed-loop goroutines, each optimizing and
+// executing queriesPerClient chain queries (distinct range filters, so
+// concurrent negotiations never share a query) through the shared buyer, and
+// returns aggregate qps with p50/p95 per-query wall latency in ms.
+func f15Run(f *workload.Federation, opts workload.ChainOptions, clients, workers, queriesPerClient int) (qps, p50, p95 float64) {
+	lat := make([][]float64, clients)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat[c] = make([]float64, 0, queriesPerClient)
+			for q := 0; q < queriesPerClient; q++ {
+				sql := workload.ChainQuery(opts, 0.25+0.03*float64((c*queriesPerClient+q)%16))
+				cfg := f.BuyerConfig()
+				cfg.Workers = workers
+				q0 := time.Now()
+				res, err := f.Optimize(cfg, sql)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := f.Execute(res); err != nil {
+					panic(err)
+				}
+				lat[c] = append(lat[c], float64(time.Since(q0).Microseconds())/1000)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	var all []float64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(len(all)) / wall, f15Pct(all, 0.50), f15Pct(all, 0.95)
+}
+
+// f15Pct reads the p-th percentile (0..1) of an ascending-sorted sample.
+func f15Pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestF15ThroughputSmoke is the fixed-seed throughput smoke test. Wall-clock
+// scaling claims belong to the benchmark and full_results; here only
+// structure, sane latency ordering, and a deliberately loose fan-out speedup
+// are asserted — the federation sleeps 4 ms per seller call, so even a
+// single-core runner overlaps the waits.
+func TestF15ThroughputSmoke(t *testing.T) {
+	tab := F15Throughput([]int{2, 4}, []int{1, 2}, 2, 7)
+	// Phase A: 2 seller counts x {serial, fan-out}; phase B: 2 client counts.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6:\n%v", len(tab.Rows), tab.Rows)
+	}
+	col := func(name string) int {
+		for i, h := range tab.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	num := func(row []string, name string) float64 {
+		v, err := strconv.ParseFloat(row[col(name)], 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows {
+		if qps := num(row, "qps"); qps <= 0 {
+			t.Fatalf("qps %v not positive\n%v", qps, row)
+		}
+		p50, p95 := num(row, "p50_ms"), num(row, "p95_ms")
+		if p50 <= 0 || p95 < p50 {
+			t.Fatalf("latency percentiles out of order (p50=%v p95=%v)\n%v", p50, p95, row)
+		}
+	}
+	// The widest phase-A fan-out row (sellers=4, workers=0) must beat serial
+	// dispatch: four 4 ms seller calls overlapped cannot be slower than four
+	// in sequence. Threshold is loose for noisy runners.
+	fanout := tab.Rows[3]
+	if fanout[col("sellers")] != "4" || fanout[col("workers")] != "0" {
+		t.Fatalf("unexpected row order: %v", tab.Rows)
+	}
+	if x := num(fanout, "x_vs_base"); x < 1.1 {
+		t.Fatalf("fan-out speedup %.2f at 4 sellers, want > 1.1\n%v", x, tab.Rows)
+	}
+}

@@ -70,6 +70,14 @@ type Config struct {
 	// bound is node-wide — concurrent RFBs share it — and subcontract
 	// probing joins the same pool rather than spawning its own.
 	Workers int
+	// MaxInflightRFBs bounds how many buyer-originated (Depth-0) RFBs the
+	// node admits concurrently; arrivals beyond the bound queue until a slot
+	// frees, so overload degrades into waiting rather than an unbounded
+	// pile-up of pricing work. 0 = 2×Workers; negative = unbounded (the
+	// pre-gate behaviour). Depth>0 subcontract probes bypass the gate —
+	// gating them could deadlock two mutually subcontracting nodes that each
+	// hold their last admission slot while waiting on the other.
+	MaxInflightRFBs int
 	// PriceCacheSize caps the node's price cache: memoized rewrite + DP
 	// pricing results keyed by canonical query text and the store's
 	// data/stats/cost-model versions, so repeated negotiation iterations
@@ -93,6 +101,9 @@ type Node struct {
 	cfg      Config
 	store    *storage.Store
 	pool     chan struct{}     // pricing-worker semaphore, cap = cfg.Workers
+	admit    chan struct{}     // Depth-0 RFB admission gate, cap = cfg.MaxInflightRFBs (nil = unbounded)
+	queued   atomic.Int64      // Depth-0 RFBs waiting on the admission gate
+	inflight atomic.Int64      // Depth-0 RFBs holding an admission slot
 	prices   *pricecache.Cache // nil when caching is disabled
 	costHash uint64            // fingerprint of cfg.Cost for cache keys
 
@@ -140,6 +151,9 @@ func New(cfg Config) *Node {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxInflightRFBs == 0 {
+		cfg.MaxInflightRFBs = 2 * cfg.Workers
+	}
 	if cfg.PriceCacheSize == 0 {
 		cfg.PriceCacheSize = 256
 	}
@@ -151,6 +165,9 @@ func New(cfg Config) *Node {
 		standing:     map[string]map[string]*standingOffer{},
 		subcontracts: map[string]*subcontract{},
 		flights:      map[string]map[string]*flight{},
+	}
+	if cfg.MaxInflightRFBs > 0 {
+		n.admit = make(chan struct{}, cfg.MaxInflightRFBs)
 	}
 	if cfg.PriceCacheSize > 0 {
 		n.prices = pricecache.New(cfg.PriceCacheSize)
@@ -177,6 +194,39 @@ func (n *Node) tryAcquire() bool {
 }
 
 func (n *Node) release() { <-n.pool }
+
+// admitRFB claims an admission slot for a buyer-originated (Depth-0) RFB,
+// blocking — with the wait visible in the queue-depth gauge — when the node
+// already serves MaxInflightRFBs of them. The returned func releases the
+// slot. Only Depth-0 RFBs pass through here; subcontract probes bypass the
+// gate entirely (see Config.MaxInflightRFBs).
+func (n *Node) admitRFB(ob *nodeObs) func() {
+	select {
+	case n.admit <- struct{}{}:
+	default:
+		d := n.queued.Add(1)
+		if ob != nil {
+			ob.rfbsQueued.Inc()
+			ob.rfbQueueDepth.Set(float64(d))
+		}
+		n.admit <- struct{}{}
+		d = n.queued.Add(-1)
+		if ob != nil {
+			ob.rfbQueueDepth.Set(float64(d))
+		}
+	}
+	g := n.inflight.Add(1)
+	if ob != nil {
+		ob.rfbsInflight.Set(float64(g))
+	}
+	return func() {
+		v := n.inflight.Add(-1)
+		if ob != nil {
+			ob.rfbsInflight.Set(float64(v))
+		}
+		<-n.admit
+	}
+}
 
 // ID returns the node id.
 func (n *Node) ID() string { return n.cfg.ID }
@@ -215,6 +265,10 @@ func (n *Node) Load() float64 { return float64(n.active.Load()) }
 // attached tracer.
 func (n *Node) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
 	ob := n.obsv.Load()
+	if n.admit != nil && rfb.Depth == 0 {
+		release := n.admitRFB(ob)
+		defer release()
+	}
 	var sp *obs.Span
 	var remote *obs.Tracer
 	if rfb.Trace.Sampled {

@@ -28,6 +28,10 @@ type nodeObs struct {
 	cacheEvictions    *obs.Counter // price-cache LRU evictions
 	pricingsCoalesced *obs.Counter // duplicate (RFB, query) pricings single-flighted
 
+	rfbsQueued    *obs.Counter // Depth-0 RFBs that had to wait for admission
+	rfbQueueDepth *obs.Gauge   // Depth-0 RFBs currently waiting for admission
+	rfbsInflight  *obs.Gauge   // Depth-0 RFBs currently holding an admission slot
+
 	rewriteMS *obs.Histogram
 	dpMS      *obs.Histogram
 	execMS    *obs.Histogram
@@ -56,6 +60,9 @@ func (n *Node) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 		cacheMisses:       m.Counter(p + "pricecache_misses"),
 		cacheEvictions:    m.Counter(p + "pricecache_evictions"),
 		pricingsCoalesced: m.Counter(p + "pricings_coalesced"),
+		rfbsQueued:        m.Counter(p + "rfbs_queued"),
+		rfbQueueDepth:     m.Gauge(p + "rfb_queue_depth"),
+		rfbsInflight:      m.Gauge(p + "rfbs_inflight"),
 		rewriteMS:         m.Histogram(p + "rewrite_ms"),
 		dpMS:              m.Histogram(p + "dp_ms"),
 		execMS:            m.Histogram(p + "exec_ms"),

@@ -36,8 +36,8 @@ func TestEpochChangeMisses(t *testing.T) {
 	c := New(4)
 	c.Put(key("q", 1, 1), entry())
 	for _, k := range []Key{
-		key("q", 2, 1),                                    // data epoch moved
-		key("q", 1, 2),                                    // stats version moved
+		key("q", 2, 1), // data epoch moved
+		key("q", 1, 2), // stats version moved
 		{SQL: "q", Epoch: 1, StatsVersion: 1, CostHash: 7}, // different cost model
 	} {
 		if _, ok := c.Get(k); ok {

@@ -147,8 +147,15 @@ func bucketOverlap(lo, hi value.Value, r *expr.Range) float64 {
 		if r.HasHi && numeric(r.Hi) && r.Hi.AsFloat() < b {
 			b = r.Hi.AsFloat()
 		}
-		if b <= a {
+		if b < a {
 			return 0
+		}
+		if b == a {
+			// The intersection degenerates to one point (e.g. a range
+			// starting exactly at the bucket's upper bound). Credit the same
+			// distinct-value sliver the finite-set path gives one member, so
+			// widening a range past a bucket edge never shrinks the estimate.
+			return 0.1
 		}
 		return (b - a) / span
 	}

@@ -285,7 +285,7 @@ func TestNilPolicyIsUnguarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	// gather with a nil policy waits for every peer (no deadline).
-	offers := fanOut(RFB{}, map[string]Peer{"a": &flakyPeer{}}, nil, nil)
+	offers := fanOut(RFB{}, map[string]Peer{"a": &flakyPeer{}}, 0, nil, nil)
 	if len(offers) != 1 {
 		t.Fatalf("offers: %v", offers)
 	}

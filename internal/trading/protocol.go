@@ -2,6 +2,7 @@ package trading
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"qtrade/internal/obs"
@@ -26,15 +27,43 @@ type Protocol interface {
 	Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) (offers []Offer, rounds int, err error)
 }
 
-// gather sends one request to every peer concurrently and merges the
-// replies. Failing peers are skipped: autonomy means remote nodes may
-// decline or die, and the negotiation must survive that. When pol sets a
-// RoundTimeout the round is cut at that deadline — the offers that already
-// arrived are used, peers still in flight are counted as stragglers (their
-// late replies are discarded through the buffered channel) and their spans
-// annotated deadline_exceeded while still open (export renders them
-// unfinished=true). With a nil policy (or no RoundTimeout) gather waits for
-// every peer, exactly the pre-deadline semantics.
+// ConcurrencyAware is implemented by protocols whose per-round fan-out can
+// be bounded by a buyer worker pool. WithWorkers returns a copy of the
+// protocol dispatching at most n calls concurrently per round (0 = one
+// in-flight call per peer, the full fan-out; 1 = strictly serial in sorted
+// peer-id order). The buyer applies it from Config.Workers, mirroring how
+// FaultAware threads Config.Faults through.
+type ConcurrencyAware interface {
+	WithWorkers(n int) Protocol
+}
+
+// gatherWorkers normalizes a Workers knob against the peer count: 0 (or
+// anything >= len(peers)) means full fan-out, n >= 1 means at most n calls
+// in flight.
+func gatherWorkers(workers, peers int) int {
+	if workers <= 0 || workers > peers {
+		return peers
+	}
+	return workers
+}
+
+// gather sends one request to every peer and merges the replies. Dispatch is
+// concurrent but bounded by workers (see gatherWorkers): peers are claimed in
+// sorted-id order by a pool of worker goroutines, and replies are collected
+// positionally into a per-peer slot table, so the merged pool is
+// byte-identical whatever the interleaving — the serial path (workers=1) and
+// the full fan-out produce the same offers in the same order (pinned by
+// core's TestBuyerFanoutMatchesSerial). Failing peers are skipped: autonomy
+// means remote nodes may decline or die, and the negotiation must survive
+// that.
+//
+// When pol sets a RoundTimeout the round is cut at that deadline — the
+// offers that already arrived are used, peers still in flight OR not yet
+// dispatched are counted as stragglers (late replies are discarded through
+// the buffered channel) and their spans annotated deadline_exceeded while
+// still open (export renders them unfinished=true). With a nil policy (or no
+// RoundTimeout) gather waits for every peer, exactly the pre-deadline
+// semantics.
 //
 // Per-seller spans are created before the goroutines launch so the deadline
 // branch can annotate stragglers; each call gets the span's ID as the remote
@@ -42,36 +71,50 @@ type Protocol interface {
 // span. The fault layer retries inside call and returns at most one reply
 // (abandoned timed-out attempts are discarded before they surface), so a
 // retried call can never graft a duplicate subtree.
-func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPolicy,
+func gather(label string, peers map[string]Peer, workers int, round *obs.Span, pol *FaultPolicy,
 	call func(id string, p Peer, parent uint64) (BidReply, error)) []Offer {
 
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
 	type reply struct {
-		id     string
+		idx    int
 		offers []Offer
 		ok     bool
 	}
-	spans := make(map[string]*obs.Span, len(peers))
+	spans := make([]*obs.Span, len(ids))
 	if round != nil {
-		for id := range peers {
-			spans[id] = round.Child(label + " " + id)
+		for i, id := range ids {
+			spans[i] = round.Child(label + " " + id)
 		}
 	}
-	ch := make(chan reply, len(peers))
-	for id, p := range peers {
-		go func(id string, p Peer, ss *obs.Span) {
-			sentAt := time.Now()
-			rep, err := call(id, p, ss.ID())
-			if err != nil {
-				ss.Set("error", err)
+	ch := make(chan reply, len(ids))
+	var next atomic.Int64 // index of the next undispatched peer
+	for w := 0; w < gatherWorkers(workers, len(ids)); w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				id, ss := ids[i], spans[i]
+				sentAt := time.Now()
+				rep, err := call(id, peers[id], ss.ID())
+				if err != nil {
+					ss.Set("error", err)
+					ss.End()
+					ch <- reply{idx: i, ok: false}
+					continue
+				}
+				ss.Set("offers", len(rep.Offers))
+				ss.Graft(rep.Trace, sentAt, time.Now())
 				ss.End()
-				ch <- reply{id: id, ok: false}
-				return
+				ch <- reply{idx: i, offers: rep.Offers, ok: true}
 			}
-			ss.Set("offers", len(rep.Offers))
-			ss.Graft(rep.Trace, sentAt, time.Now())
-			ss.End()
-			ch <- reply{id: id, offers: rep.Offers, ok: true}
-		}(id, p, spans[id])
+		}()
 	}
 	var deadline <-chan time.Time
 	if pol != nil && pol.RoundTimeout > 0 {
@@ -79,37 +122,44 @@ func gather(label string, peers map[string]Peer, round *obs.Span, pol *FaultPoli
 		defer t.Stop()
 		deadline = t.C
 	}
-	var all []Offer
-	received := 0
-	pending := make(map[string]bool, len(peers))
-	for id := range peers {
-		pending[id] = true
+	slots := make([][]Offer, len(ids))
+	pending := make([]bool, len(ids))
+	for i := range pending {
+		pending[i] = true
 	}
-	for received < len(peers) {
+	received := 0
+	for received < len(ids) {
 		select {
 		case r := <-ch:
 			received++
-			delete(pending, r.id)
+			pending[r.idx] = false
 			if r.ok {
-				all = append(all, r.offers...)
+				slots[r.idx] = r.offers
 			}
 		case <-deadline:
-			stragglers := len(peers) - received
+			next.Store(int64(len(ids))) // stop dispatching peers the round no longer wants
+			stragglers := len(ids) - received
 			pol.obs().stragglers.Add(int64(stragglers))
 			pol.obs().roundCuts.Inc()
 			round.Set("stragglers", stragglers)
-			for id := range pending {
-				spans[id].Set("deadline_exceeded", true)
+			for i, p := range pending {
+				if p {
+					spans[i].Set("deadline_exceeded", true)
+				}
 			}
-			received = len(peers)
+			received = len(ids)
 		}
+	}
+	var all []Offer
+	for _, offers := range slots {
+		all = append(all, offers...)
 	}
 	sortOffers(all)
 	return all
 }
 
-func fanOut(rfb RFB, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) []Offer {
-	return gather("rfb", peers, round, pol, func(id string, p Peer, parent uint64) (BidReply, error) {
+func fanOut(rfb RFB, peers map[string]Peer, workers int, round *obs.Span, pol *FaultPolicy) []Offer {
+	return gather("rfb", peers, workers, round, pol, func(id string, p Peer, parent uint64) (BidReply, error) {
 		r := rfb
 		if r.Trace.Sampled {
 			r.Trace.Parent = parent
@@ -118,8 +168,8 @@ func fanOut(rfb RFB, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) [
 	})
 }
 
-func improveRound(req ImproveReq, peers map[string]Peer, round *obs.Span, pol *FaultPolicy) []Offer {
-	return gather("improve", peers, round, pol, func(id string, p Peer, parent uint64) (BidReply, error) {
+func improveRound(req ImproveReq, peers map[string]Peer, workers int, round *obs.Span, pol *FaultPolicy) []Offer {
+	return gather("improve", peers, workers, round, pol, func(id string, p Peer, parent uint64) (BidReply, error) {
 		r := req
 		if r.Trace.Sampled {
 			r.Trace.Parent = parent
@@ -190,6 +240,8 @@ func bestPrices(offers []Offer) map[string]float64 {
 type SealedBid struct {
 	// Policy, when set, bounds the round with a straggler-cutting deadline.
 	Policy *FaultPolicy
+	// Workers bounds the fan-out (0 = one in-flight call per peer).
+	Workers int
 }
 
 // Name implements Protocol.
@@ -198,10 +250,13 @@ func (SealedBid) Name() string { return "sealed-bid" }
 // WithPolicy implements FaultAware.
 func (p SealedBid) WithPolicy(pol *FaultPolicy) Protocol { p.Policy = pol; return p }
 
+// WithWorkers implements ConcurrencyAware.
+func (p SealedBid) WithWorkers(n int) Protocol { p.Workers = n; return p }
+
 // Collect implements Protocol.
 func (p SealedBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
 	round := roundSpan(sp, 1)
-	offers := fanOut(rfb, peers, round, p.Policy)
+	offers := fanOut(rfb, peers, p.Workers, round, p.Policy)
 	round.End()
 	return offers, 1, nil
 }
@@ -213,6 +268,8 @@ type IterativeBid struct {
 	MaxRounds int // total rounds including the initial sealed round
 	// Policy, when set, bounds every round with a straggler-cutting deadline.
 	Policy *FaultPolicy
+	// Workers bounds every round's fan-out (0 = one in-flight call per peer).
+	Workers int
 }
 
 // Name implements Protocol.
@@ -221,6 +278,9 @@ func (p IterativeBid) Name() string { return "iterative-bid" }
 // WithPolicy implements FaultAware.
 func (p IterativeBid) WithPolicy(pol *FaultPolicy) Protocol { p.Policy = pol; return p }
 
+// WithWorkers implements ConcurrencyAware.
+func (p IterativeBid) WithWorkers(n int) Protocol { p.Workers = n; return p }
+
 // Collect implements Protocol.
 func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
 	rounds := p.MaxRounds
@@ -228,13 +288,13 @@ func (p IterativeBid) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]O
 		rounds = 3
 	}
 	round := roundSpan(sp, 1)
-	offers := fanOut(rfb, peers, round, p.Policy)
+	offers := fanOut(rfb, peers, p.Workers, round, p.Policy)
 	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
 		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, Trace: rfb.Trace, BestPrice: bestPrices(offers)}
 		round = roundSpan(sp, used+1)
-		improved := improveRound(req, peers, round, p.Policy)
+		improved := improveRound(req, peers, p.Workers, round, p.Policy)
 		round.End()
 		var changed bool
 		offers, changed = mergeImproved(offers, improved)
@@ -253,6 +313,8 @@ type Bargain struct {
 	Buyer     BuyerStrategy
 	// Policy, when set, bounds every round with a straggler-cutting deadline.
 	Policy *FaultPolicy
+	// Workers bounds every round's fan-out (0 = one in-flight call per peer).
+	Workers int
 }
 
 // Name implements Protocol.
@@ -260,6 +322,9 @@ func (p Bargain) Name() string { return "bargain" }
 
 // WithPolicy implements FaultAware.
 func (p Bargain) WithPolicy(pol *FaultPolicy) Protocol { p.Policy = pol; return p }
+
+// WithWorkers implements ConcurrencyAware.
+func (p Bargain) WithWorkers(n int) Protocol { p.Workers = n; return p }
 
 // Collect implements Protocol.
 func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer, int, error) {
@@ -272,7 +337,7 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer,
 		buyer = AnchoredBuyer{}
 	}
 	round := roundSpan(sp, 1)
-	offers := fanOut(rfb, peers, round, p.Policy)
+	offers := fanOut(rfb, peers, p.Workers, round, p.Policy)
 	round.End()
 	used := 1
 	for used < rounds && len(offers) > 0 {
@@ -283,7 +348,7 @@ func (p Bargain) Collect(rfb RFB, peers map[string]Peer, sp *obs.Span) ([]Offer,
 		}
 		req := ImproveReq{RFBID: rfb.RFBID, BuyerID: rfb.BuyerID, Trace: rfb.Trace, BestPrice: best, Target: target}
 		round = roundSpan(sp, used+1)
-		improved := improveRound(req, peers, round, p.Policy)
+		improved := improveRound(req, peers, p.Workers, round, p.Policy)
 		round.End()
 		var changed bool
 		offers, changed = mergeImproved(offers, improved)

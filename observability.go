@@ -191,6 +191,8 @@ func (f *Federation) NetworkStatsByPeer() []PeerTraffic {
 // into whichever tracer attached last — run them sequentially when exact
 // attribution matters.
 func (f *Federation) setNodeTracer(tr *obs.Tracer) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	for _, n := range f.nodes {
 		n.inner.SetObs(tr, f.metrics)
 	}

@@ -33,6 +33,7 @@ package qtrade
 
 import (
 	"fmt"
+	"sync"
 
 	"qtrade/internal/catalog"
 	"qtrade/internal/core"
@@ -166,6 +167,17 @@ func WithWorkers(n int) NodeOption {
 	return func(c *node.Config) { c.Workers = n }
 }
 
+// WithMaxInflightRFBs bounds how many buyer-originated RFBs the node serves
+// concurrently; arrivals beyond the bound queue until a pricing slot frees,
+// so a node overwhelmed by concurrent negotiations degrades into queuing
+// rather than collapse. 0 keeps the default (2× the node's pricing workers);
+// negative removes the bound. Queue pressure is visible in
+// Federation.MetricsSnapshot as node.<id>.rfb_queue_depth /
+// node.<id>.rfbs_queued / node.<id>.rfbs_inflight.
+func WithMaxInflightRFBs(n int) NodeOption {
+	return func(c *node.Config) { c.MaxInflightRFBs = n }
+}
+
 // WithPriceCache sizes the node's price cache, which memoizes the rewrite +
 // DP half of bid pricing across negotiation iterations (entries are keyed by
 // the store's data/stats versions, so they can never go stale). size 0 keeps
@@ -176,8 +188,11 @@ func WithPriceCache(size int) NodeOption {
 }
 
 // Federation is a simulated federation of autonomous nodes connected by an
-// in-process network with full message accounting.
+// in-process network with full message accounting. A federation is safe for
+// concurrent use: any number of goroutines may run Optimize/Query/
+// QueryWithRecovery (even from the same buyer node) while others add nodes.
 type Federation struct {
+	mu      sync.RWMutex // guards nodes and faults
 	schema  *Schema
 	net     *netsim.Network
 	nodes   map[string]*Node
@@ -203,6 +218,8 @@ type Node struct {
 
 // AddNode creates and registers a node.
 func (f *Federation) AddNode(id string, opts ...NodeOption) (*Node, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, dup := f.nodes[id]; dup {
 		return nil, fmt.Errorf("qtrade: duplicate node %q", id)
 	}
@@ -226,7 +243,11 @@ func (f *Federation) MustAddNode(id string, opts ...NodeOption) *Node {
 }
 
 // Node returns a registered node, or nil.
-func (f *Federation) Node(id string) *Node { return f.nodes[id] }
+func (f *Federation) Node(id string) *Node {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.nodes[id]
+}
 
 // Row builds a row from Go values (int/int64, float64, string, bool, nil).
 func Row(vals ...any) []value.Value {
@@ -336,6 +357,15 @@ func WithMaxIterations(n int) OptimizeOption {
 	return func(c *core.Config) { c.MaxIterations = n }
 }
 
+// WithBuyerWorkers bounds the buyer's own fan-out: how many sellers a
+// negotiation round contacts concurrently, and how many purchased answers
+// execution fetches concurrently. 0 (the default) contacts every seller at
+// once; 1 is strictly serial in deterministic order. Any setting produces a
+// byte-identical offer pool and plan — only wall-clock time changes.
+func WithBuyerWorkers(n int) OptimizeOption {
+	return func(c *core.Config) { c.Workers = n }
+}
+
 // Plan is an optimized distributed execution plan.
 type Plan struct {
 	res     *core.Result
@@ -348,11 +378,14 @@ type Plan struct {
 // Optimize runs query-trading optimization from the named buyer node
 // without executing anything.
 func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan, error) {
+	f.mu.RLock()
 	bn, ok := f.nodes[buyer]
+	faults := f.faults
+	f.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: f.faults}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: faults}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -410,7 +443,7 @@ func (p *Plan) Run() (*Result, error) {
 		p.fed.setNodeTracer(p.tracer)
 		defer p.fed.setNodeTracer(nil)
 	}
-	ex := &exec.Executor{Store: p.fed.nodes[p.buyer].inner.Store()}
+	ex := &exec.Executor{Store: p.fed.Node(p.buyer).inner.Store()}
 	tr := p.tracer
 	if p.sampled && !p.res.TraceCtx.Sampled {
 		tr = nil // unsampled negotiation: execution stays untraced too
@@ -464,11 +497,14 @@ func (f *Federation) Query(buyer, sql string, opts ...OptimizeOption) (*Result, 
 // purchased seller fails between negotiation and delivery, the buyer
 // re-optimizes around it and retries, up to maxRetries times.
 func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts ...OptimizeOption) (*Result, error) {
+	f.mu.RLock()
 	bn, ok := f.nodes[buyer]
+	faults := f.faults
+	f.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: f.faults}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: faults}
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -9,7 +9,21 @@
 set -eu
 
 dir="$(mktemp -d)"
-trap 'kill $corfu_pid $myconos_pid 2>/dev/null || true; rm -rf "$dir"' EXIT
+pids=""
+
+# Kill every background qtnode on ANY exit path — normal completion, a
+# failed assertion under set -e, or a signal — then wait so no zombie
+# outlives the script, and only then remove the scratch dir.
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $pids; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$dir"
+}
+trap cleanup EXIT INT TERM
 
 echo "== build"
 go build -o "$dir/qtnode" ./cmd/qtnode
@@ -19,16 +33,17 @@ echo "== start sellers"
 "$dir/qtnode" -id corfu -listen 127.0.0.1:7101 -office Corfu \
     -obs-addr 127.0.0.1:9101 -peers myconos=127.0.0.1:7102 \
     >"$dir/corfu.log" 2>&1 &
-corfu_pid=$!
+pids="$pids $!"
 "$dir/qtnode" -id myconos -listen 127.0.0.1:7102 -office Myconos \
     -obs-addr 127.0.0.1:9102 -peers corfu=127.0.0.1:7101 \
     >"$dir/myconos.log" 2>&1 &
-myconos_pid=$!
+pids="$pids $!"
 
 wait_serving() { # log file
     for _ in $(seq 1 100); do
         grep -q "serving office" "$1" 2>/dev/null && return 0
-        kill -0 $corfu_pid $myconos_pid 2>/dev/null || break
+        # shellcheck disable=SC2086 # pids is a deliberate word list
+        kill -0 $pids 2>/dev/null || break
         sleep 0.1
     done
     echo "FAIL: node never came up"; cat "$1"; exit 1
@@ -36,14 +51,36 @@ wait_serving() { # log file
 wait_serving "$dir/corfu.log"
 wait_serving "$dir/myconos.log"
 
+# The serving line proves the RPC listener bound, but not that the kernel
+# accepts connections yet (or that the obs mux is up); retry a real dial
+# against each node's /metrics port before pointing qtsql at the cluster.
+wait_tcp() { # url
+    for _ in $(seq 1 100); do
+        curl -fsS -m 2 "$1" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "FAIL: $1 never accepted a connection"; exit 1
+}
+wait_tcp http://127.0.0.1:9101/metrics
+wait_tcp http://127.0.0.1:9102/metrics
+
 echo "== traced query"
-printf '%s\n' \
-    '\trace on' \
-    "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')" \
-    "\\trace save $dir/trace.json" \
-    '\quit' \
-    | "$dir/qtsql" -connect corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
-        >"$dir/qtsql.log" 2>&1
+run_qtsql() {
+    printf '%s\n' \
+        '\trace on' \
+        "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')" \
+        "\\trace save $dir/trace.json" \
+        '\quit' \
+        | "$dir/qtsql" -connect corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
+            >"$dir/qtsql.log" 2>&1
+}
+qtsql_ok=0
+for _ in 1 2 3; do
+    if run_qtsql; then qtsql_ok=1; break; fi
+    sleep 0.5
+done
+[ "$qtsql_ok" = 1 ] || {
+    echo "FAIL: qtsql could not complete against the cluster"; cat "$dir/qtsql.log"; exit 1; }
 grep -q "wrote Chrome trace" "$dir/qtsql.log" || {
     echo "FAIL: qtsql did not save a trace"; cat "$dir/qtsql.log"; exit 1; }
 
