@@ -206,6 +206,34 @@ func BenchmarkExpF15Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF16Calibration regenerates F16: per-seller quoted-vs-measured
+// cost calibration from the trading ledger. Reported metric: the largest
+// per-seller mean measured/quoted ratio in the slow-seller variant — the
+// signal that flags a seller whose quotes no longer predict reality.
+func BenchmarkExpF16Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F16Calibration(3, 11)
+		worst := 0.0
+		for _, r := range tab.Rows {
+			if r[0] != "slow-n2" {
+				continue
+			}
+			v, err := strconv.ParseFloat(r[6], 64)
+			if err != nil {
+				b.Fatalf("F16 ratio %q: %v", r[6], err)
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+		if worst == 0 {
+			b.Fatalf("F16 slow variant recorded no ratios: %v", tab.Rows)
+		}
+		b.ReportMetric(worst, "slow_ratio_max")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

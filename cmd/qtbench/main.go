@@ -9,12 +9,15 @@
 //	qtbench -seed 7
 //	qtbench -exp F3 -trace f3.json -metrics  # Chrome trace + metrics dump
 //	qtbench -exp F15 -clients 1,2,4,8        # throughput at a custom client sweep
+//	qtbench -exp T1 -ledger                  # calibration report after the run
 //
 // -trace writes a Chrome trace_event file of every optimization the selected
 // experiments ran (load it in chrome://tracing or https://ui.perfetto.dev);
 // -metrics prints the buyer/seller metrics snapshot after the run;
 // -clients overrides the closed-loop client counts the F15 throughput
-// experiment sweeps.
+// experiment sweeps; -ledger audits every negotiation in a trading ledger
+// and prints the per-seller calibration report when done (F16 keeps its own
+// per-variant ledgers, so its negotiations print in its table instead).
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"strings"
 
 	"qtrade/internal/experiments"
+	"qtrade/internal/ledger"
 	"qtrade/internal/obs"
 )
 
@@ -40,7 +44,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metricsDump := flag.Bool("metrics", false, "print the metrics snapshot after the run")
 	clients := flag.String("clients", "", "comma-separated closed-loop client counts for F15 (e.g. 1,2,4,8)")
-	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F15; default all")
+	ledgerDump := flag.Bool("ledger", false, "audit every negotiation in a trading ledger and print the calibration report after the run")
+	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F16; default all")
 	flag.Parse()
 
 	if *clients != "" {
@@ -67,6 +72,11 @@ func main() {
 	if tracer != nil || metrics != nil {
 		experiments.SetObs(tracer, metrics)
 	}
+	var led *ledger.Ledger
+	if *ledgerDump {
+		led = ledger.New(0)
+		experiments.SetLedger(led)
+	}
 
 	var specs []experiments.Spec
 	if *full {
@@ -87,7 +97,7 @@ func main() {
 		printed++
 	}
 	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F15)\n", exps)
+		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F16)\n", exps)
 		os.Exit(1)
 	}
 
@@ -109,5 +119,8 @@ func main() {
 	}
 	if *metricsDump {
 		fmt.Print(metrics.Snapshot())
+	}
+	if led != nil {
+		fmt.Printf("-- trading ledger: %d negotiations audited --\n%s", led.Len(), led.Calibration().Text())
 	}
 }

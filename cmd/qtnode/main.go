@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"qtrade/internal/ledger"
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
 	"qtrade/internal/obs"
@@ -45,7 +46,7 @@ func main() {
 	slow := flag.Duration("slow", 0, "delay added to every served call (simulate a straggling seller)")
 	seed := flag.Int64("seed", 1, "data seed (must match across the federation)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
-	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics (Prometheus text), /debug/pprof/* and /trace/last (empty = no exposition)")
+	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics (Prometheus text), /debug/pprof/*, /trace/last, /ledger and /calibration (empty = no exposition)")
 	peersFlag := flag.String("peers", "", "subcontract peers as id=addr,... — enables §3.5 Depth-1 subcontracting over net/rpc (peers are dialed lazily)")
 	flag.Parse()
 
@@ -91,10 +92,15 @@ func main() {
 	}
 	traceLog := obs.NewTraceLog()
 	n.SetTraceLog(traceLog)
+	led := ledger.New(0)
+	n.SetLedger(led)
 
 	if *obsAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*obsAddr, obs.Handler(metrics, traceLog)); err != nil {
+			h := obs.Handler(metrics, traceLog,
+				obs.Endpoint{Path: "/ledger", Handler: led},
+				obs.Endpoint{Path: "/calibration", Handler: led.CalibrationHandler()})
+			if err := http.ListenAndServe(*obsAddr, h); err != nil {
 				slog.Error("obs server failed", "addr", *obsAddr, "err", err)
 			}
 		}()

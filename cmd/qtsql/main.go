@@ -9,7 +9,10 @@
 //	qtsql -connect corfu=localhost:7001,myconos=localhost:7002
 //
 // Commands: EXPLAIN <query>, EXPLAIN ANALYZE <query>, \trace on|off,
-// \trace save <file>, \metrics, \stats, \nodes, \quit. In simulation mode
+// \trace save <file>, \metrics, \ledger, \calibration, \stats, \nodes,
+// \quit. Every negotiation is audited in a trading ledger: \ledger dumps
+// the retained records as JSONL and \calibration prints the per-seller
+// quoted-vs-measured cost report. In simulation mode
 // the federation can be perturbed interactively: \down <node> and
 // \up <node> toggle node failures, \chaos <seed> <rate> installs a seeded
 // chaos plan dropping the given fraction of requests (\chaos off removes
@@ -30,6 +33,7 @@ import (
 
 	"qtrade/internal/core"
 	"qtrade/internal/exec"
+	"qtrade/internal/ledger"
 	"qtrade/internal/netsim"
 	"qtrade/internal/obs"
 	"qtrade/internal/trading"
@@ -40,6 +44,7 @@ import (
 // session is the shell state shared by the in-process and remote modes.
 type session struct {
 	metrics *obs.Metrics
+	ledg    *ledger.Ledger // audits every negotiation; feeds \ledger and /ledger
 	tracing bool
 	last    *obs.Tracer   // spans of the most recent traced query
 	tlog    *obs.TraceLog // feeds /trace/last when -obs-addr is set
@@ -84,6 +89,20 @@ func (s *session) command(line string) bool {
 		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
 	case line == `\metrics`:
 		fmt.Print(s.metrics.Snapshot())
+	case line == `\ledger`:
+		if s.ledg.Len() == 0 {
+			fmt.Println("no negotiations recorded yet (run a query first)")
+			break
+		}
+		if err := s.ledg.WriteJSONL(os.Stdout, 0); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	case line == `\calibration`:
+		if s.ledg.Len() == 0 {
+			fmt.Println("no negotiations recorded yet (run a query first)")
+			break
+		}
+		fmt.Print(s.ledg.Calibration().Text())
 	default:
 		return false
 	}
@@ -130,11 +149,14 @@ func (s *session) serveObs(addr string) {
 	}
 	s.tlog = obs.NewTraceLog()
 	go func() {
-		if err := http.ListenAndServe(addr, obs.Handler(s.metrics, s.tlog)); err != nil {
+		h := obs.Handler(s.metrics, s.tlog,
+			obs.Endpoint{Path: "/ledger", Handler: s.ledg},
+			obs.Endpoint{Path: "/calibration", Handler: s.ledg.CalibrationHandler()})
+		if err := http.ListenAndServe(addr, h); err != nil {
 			slog.Error("obs server failed", "addr", addr, "err", err)
 		}
 	}()
-	fmt.Printf("serving /metrics, /debug/pprof and /trace/last on %s\n", addr)
+	fmt.Printf("serving /metrics, /debug/pprof, /trace/last, /ledger and /calibration on %s\n", addr)
 }
 
 func main() {
@@ -143,7 +165,7 @@ func main() {
 	connect := flag.String("connect", "", "comma-separated id=addr pairs of qtnode servers; empty = in-process simulation")
 	callTimeout := flag.Duration("call-timeout", 0, "remote mode: bound on dialing and on every RPC to a qtnode (0 = none)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
-	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics, /debug/pprof/* and /trace/last (empty = no exposition)")
+	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics, /debug/pprof/*, /trace/last, /ledger and /calibration (empty = no exposition)")
 	flag.Parse()
 
 	setupLogging(*logLevel)
@@ -158,14 +180,15 @@ func main() {
 		CustomersPerOffice: *customers,
 		Seed:               1,
 	})
-	s := &session{metrics: obs.NewMetrics()}
+	s := &session{metrics: obs.NewMetrics(), ledg: ledger.New(0)}
 	s.attach = func(tr *obs.Tracer) { f.SetObs(tr, s.metrics) }
 	s.attach(nil) // metrics-only steady state
+	f.SetLedger(s.ledg)
 	s.serveObs(*obsAddr)
 	slog.Info("federation ready", "offices", *offices, "customers", *customers)
 	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
-	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\stats", "\nodes",`)
-	fmt.Println(`  "\down <node>", "\up <node>", "\chaos <seed> <rate>" or "\quit"`)
+	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\ledger", "\calibration",`)
+	fmt.Println(`  "\stats", "\nodes", "\down <node>", "\up <node>", "\chaos <seed> <rate>" or "\quit"`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -246,6 +269,7 @@ func main() {
 		cfg := f.BuyerConfig()
 		cfg.Metrics = s.metrics
 		cfg.Tracer = tr
+		cfg.Ledger = s.ledg
 		res, err := f.Optimize(cfg, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
@@ -351,9 +375,9 @@ func runRemote(offices, connect string, callTimeout time.Duration, obsAddr strin
 			return rpcPeers[to].Execute(req)
 		},
 	}
-	s := &session{metrics: obs.NewMetrics(), attach: func(*obs.Tracer) {}}
+	s := &session{metrics: obs.NewMetrics(), ledg: ledger.New(0), attach: func(*obs.Tracer) {}}
 	s.serveObs(obsAddr)
-	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics" or "\quit"`)
+	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\ledger", "\calibration" or "\quit"`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -376,7 +400,8 @@ func runRemote(offices, connect string, callTimeout time.Duration, obsAddr strin
 			continue
 		}
 		sql, explainOnly, analyze, tr := s.begin(line)
-		res, err := core.Optimize(core.Config{ID: "qtsql", Schema: sch, Metrics: s.metrics, Tracer: tr}, comm, sql)
+		res, err := core.Optimize(core.Config{ID: "qtsql", Schema: sch, Metrics: s.metrics,
+			Tracer: tr, Ledger: s.ledg}, comm, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			s.end(tr)

@@ -12,6 +12,7 @@ import (
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
+	"qtrade/internal/ledger"
 	"qtrade/internal/obs"
 	"qtrade/internal/plan"
 	"qtrade/internal/sqlparse"
@@ -90,6 +91,11 @@ type Config struct {
 	// Metrics, when set, receives buyer-side counters/histograms under
 	// "buyer.<id>.". Nil costs nothing.
 	Metrics *obs.Metrics
+	// Ledger, when set, records this negotiation's economic event chain —
+	// RFBs, bids, rounds, awards, and at execution time the measured actuals
+	// behind every purchase — and feeds the per-seller quoted-vs-actual
+	// calibration. Nil (the default) adds zero allocations.
+	Ledger *ledger.Ledger
 	// Workers bounds the buyer's own fan-out: the per-round RFB/improve
 	// dispatch of ConcurrencyAware protocols and the execution-time fetch of
 	// remote plan leaves. 0 (the default) means one in-flight call per
@@ -136,6 +142,10 @@ type Result struct {
 	// Workers carries Config.Workers into execution so the remote-leaf
 	// prefetch honours the same fan-out bound as the negotiation.
 	Workers int
+	// LedgerRec is this negotiation's open trading-ledger record (nil when
+	// Config.Ledger was unset), carried into execution so the fetch/execute
+	// actuals land in the same event chain as the bids and awards.
+	LedgerRec *ledger.Rec
 }
 
 var rfbSeq atomic.Int64
@@ -237,6 +247,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		bo = newBuyerObs(cfg.Metrics, cfg.ID)
 	}
 	bo.optimizations.Inc()
+	rec := cfg.Ledger.Begin(cfg.ID, sel.SQL())
 	root := cfg.Tracer.Start(cfg.ID, "optimize")
 	root.Set("sql", sql)
 	defer root.End()
@@ -297,6 +308,11 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		}
 		stats.RFBsSent += len(peers)
 		bo.rfbsSent.Add(int64(len(peers)))
+		rec.RFBIssued(rfb.RFBID, iter, len(queries))
+		var roundT0 time.Time
+		if rec != nil {
+			roundT0 = time.Now()
+		}
 		negSp := itSp.Child("negotiate")
 		negSp.Set("peers", len(peers))
 		offers, rounds, err := cfg.Protocol.Collect(rfb, peers, negSp)
@@ -324,6 +340,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		stats.OffersReceived += len(offers)
 		bo.offersRecv.Add(int64(len(offers)))
 		for _, o := range offers {
+			rec.Bid(iter, o.SellerID, o.QID, o.OfferID, o.Props.TotalTime, o.Price)
 			switch {
 			case o.FromView:
 				stats.ViewOffers++
@@ -341,6 +358,10 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 			}
 		}
 		bo.poolSize.Set(float64(len(pool)))
+		if rec != nil {
+			rec.Round(iter, rounds, len(offers), len(pool),
+				float64(time.Since(roundT0).Microseconds())/1000)
+		}
 
 		// B4: candidate plan generation from the standing pool, in
 		// deterministic order so equal-cost ties break reproducibly.
@@ -413,7 +434,12 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	// B8: award the winning offers.
 	awSp := root.Child("award")
 	awSp.Set("offers", len(best.Offers))
+	var awardT0 time.Time
+	if rec != nil {
+		awardT0 = time.Now()
+	}
 	for _, o := range best.Offers {
+		rec.Award(o.SellerID, o.QID, o.OfferID, o.Props.TotalTime, o.Price)
 		if o.SellerID == cfg.ID {
 			continue // own offers need no award message
 		}
@@ -424,6 +450,9 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		_ = cfg.Faults.Call(o.SellerID, func() error { return comm.Award(o.SellerID, aw) })
 	}
 	awSp.End()
+	if rec != nil {
+		rec.ObservePhase(ledger.PhaseAward, float64(time.Since(awardT0).Microseconds())/1000)
+	}
 	stats.PoolSize = len(pool)
 	stats.EmptyBidResponses = int(emptyReplies.Load())
 	stats.WallTime = time.Since(start)
@@ -440,7 +469,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	}
 	sort.Slice(finalPool, func(i, j int) bool { return finalPool[i].OfferID < finalPool[j].OfferID })
 	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool,
-		BuyerID: cfg.ID, TraceCtx: tctx, Workers: cfg.Workers}, nil
+		BuyerID: cfg.ID, TraceCtx: tctx, Workers: cfg.Workers, LedgerRec: rec}, nil
 }
 
 // ExecuteResult runs the winning plan: Remote leaves are fetched from their
@@ -483,6 +512,22 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 		ex.Stats = localExec.Stats
 	}
 	traced := root != nil && res.TraceCtx.Sampled
+	// With a ledger record open, precompute each purchased offer's quoted
+	// cost so the fetch actuals can be tied back to the quote they answered
+	// (the pool covers recovery substitutes spliced in after the award).
+	rec := res.LedgerRec
+	var quoted map[string]float64
+	if rec != nil {
+		quoted = make(map[string]float64, len(res.Candidate.Offers))
+		for _, o := range res.Candidate.Offers {
+			quoted[o.OfferID] = o.Props.TotalTime
+		}
+		for _, o := range res.Pool {
+			if _, ok := quoted[o.OfferID]; !ok {
+				quoted[o.OfferID] = o.Props.TotalTime
+			}
+		}
+	}
 	fetchOne := func(nodeID, sql, offerID string) (*exec.Result, error) {
 		fs := root.Child("fetch " + nodeID)
 		req := trading.ExecReq{SQL: sql, OfferID: offerID}
@@ -492,6 +537,15 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 		}
 		sentAt := time.Now()
 		resp, err := comm.Fetch(nodeID, req)
+		if rec != nil {
+			wall := float64(time.Since(sentAt).Microseconds()) / 1000
+			if err != nil {
+				rec.Fetch(nodeID, offerID, sql, quoted[offerID], wall, 0, 0, 0, err.Error())
+			} else {
+				rec.Fetch(nodeID, offerID, sql, quoted[offerID], wall, resp.ExecMS,
+					int64(len(resp.Rows)), int64(resp.WireSize()), "")
+			}
+		}
 		if err != nil {
 			fs.Set("error", err)
 			fs.End()
@@ -510,7 +564,21 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 	if remotes := plan.Remotes(res.Candidate.Root); len(remotes) > 1 && res.Workers != 1 {
 		ex.Fetch = prefetchRemotes(remotes, res.Workers, fetchOne)
 	}
-	return ex.Run(res.Candidate.Root)
+	rec.ExecStarted()
+	var execT0 time.Time
+	if rec != nil {
+		execT0 = time.Now()
+	}
+	out, err := ex.Run(res.Candidate.Root)
+	if rec != nil {
+		wall := float64(time.Since(execT0).Microseconds()) / 1000
+		if err != nil {
+			rec.ExecFinished(wall, 0, err.Error())
+		} else {
+			rec.ExecFinished(wall, int64(len(out.Rows)), "")
+		}
+	}
+	return out, err
 }
 
 // prefetchRemotes fetches every remote leaf concurrently — at most `workers`

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qtrade/internal/exec"
+	"qtrade/internal/ledger"
+	"qtrade/internal/obs"
+)
+
+// TestLedgerAuditsNegotiationEndToEnd: with a shared ledger on buyer and
+// sellers, one optimize+execute cycle must leave a complete negotiation
+// record — RFB out, bids in, rounds, awards, seller-side pricing, execution
+// and fetches with measured actuals — and the calibration layer must see
+// every seller that bid.
+func TestLedgerAuditsNegotiationEndToEnd(t *testing.T) {
+	f := buildFederation(t, nil)
+	led := ledger.New(8)
+	f.athens.SetLedger(led)
+	f.corfu.SetLedger(led)
+	f.myc.SetLedger(led)
+	want := oracle(t, f.sch, paperQuery)
+
+	cfg := athensCfg(f)
+	cfg.Ledger = led
+	res, got := optimizeAndRun(t, f, cfg, paperQuery)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("answer differs:\ngot  %v\nwant %v", got, want)
+	}
+	if res.LedgerRec == nil {
+		t.Fatal("result must carry its ledger record")
+	}
+
+	negs := led.Negotiations(0)
+	if len(negs) != 1 {
+		t.Fatalf("negotiations: %d", len(negs))
+	}
+	n := negs[0]
+	if !n.Awarded || n.Buyer != "athens" || n.ID == "" {
+		t.Fatalf("negotiation header: %+v", n)
+	}
+	kinds := map[string]int{}
+	for _, e := range n.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{ledger.KindRFB, ledger.KindBid, ledger.KindRound,
+		ledger.KindAward, ledger.KindPriced, ledger.KindExecStart,
+		ledger.KindExec, ledger.KindFetch} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %q event in %v", k, kinds)
+		}
+	}
+	// Fetches must carry measured actuals joined to the quoted estimate.
+	quoted := 0
+	for _, e := range n.Events {
+		if e.Kind == ledger.KindFetch && e.Err == "" {
+			if e.Rows == 0 || e.Seller == "" {
+				t.Fatalf("fetch event incomplete: %+v", e)
+			}
+			if e.QuotedMS > 0 {
+				quoted++
+			}
+		}
+	}
+	if quoted == 0 {
+		t.Fatal("no fetch joined a quoted estimate")
+	}
+
+	rep := led.Calibration()
+	if rep.Negotiations != 1 {
+		t.Fatalf("report negotiations: %d", rep.Negotiations)
+	}
+	bySeller := map[string]ledger.SellerReport{}
+	for _, s := range rep.Sellers {
+		bySeller[s.Seller] = s
+	}
+	execs := int64(0)
+	for _, id := range []string{"corfu", "myconos"} {
+		s, ok := bySeller[id]
+		if !ok || s.Bids == 0 {
+			t.Fatalf("seller %s missing from calibration: %+v", id, rep.Sellers)
+		}
+		execs += s.Execs
+	}
+	if execs == 0 {
+		t.Fatalf("no measured execution reached calibration: %+v", rep.Sellers)
+	}
+}
+
+// TestLedgerRecordsRecovery mirrors TestFallbackSubstitution with a ledger
+// attached: when a crashed seller's purchases are patched from standing
+// offers, the negotiation record must show the substitution.
+func TestLedgerRecordsRecovery(t *testing.T) {
+	f := buildFederation(t, nil)
+	q := "SELECT i.invid, i.charge FROM invoiceline i WHERE i.charge > 4"
+	led := ledger.New(8)
+
+	cfg := athensCfg(f)
+	cfg.Metrics = obs.NewMetrics()
+	cfg.Faults = testPolicy(cfg.Metrics)
+	cfg.Ledger = led
+
+	comm := &NetComm{Net: f.net, SelfID: "athens"}
+	res, err := Optimize(cfg, comm, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := res.Candidate.Offers[0].SellerID
+	crash := &crashOnDeliver{Comm: comm, victim: winner, onCrash: func() {}}
+
+	if _, _, _, err := OptimizeAndExecute(cfg, crash,
+		&exec.Executor{Store: f.athens.Store()}, q, 2); err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	found := false
+	for _, n := range led.Negotiations(0) {
+		for _, e := range n.Events {
+			if e.Kind == ledger.KindRecovery {
+				if e.Err != winner || e.Seller == winner || e.Seller == "" {
+					t.Fatalf("recovery event should substitute away from %s: %+v", winner, e)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no recovery event recorded")
+	}
+}

@@ -93,12 +93,26 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 		// substituting until the plan runs or the pool is out of equivalents.
 		if cfg.Faults != nil {
 			for err != nil && len(tc.failed) > 0 {
+				// Snapshot the failed purchases' sellers before substituteOffers
+				// patches the plan, so the ledger can name who was replaced.
+				var oldSeller map[string]string
+				if res.LedgerRec != nil {
+					oldSeller = make(map[string]string, len(res.Candidate.Offers))
+					for _, o := range res.Candidate.Offers {
+						oldSeller[o.OfferID] = o.SellerID
+					}
+				}
 				repl, ok := substituteOffers(res, tc.failed)
 				if !ok {
 					break
 				}
 				fallbacks.Add(int64(len(repl)))
 				sp.Set("fallbacks", len(repl))
+				if res.LedgerRec != nil {
+					for oldID, nb := range repl {
+						res.LedgerRec.Recovery(oldSeller[oldID], nb.SellerID, nb.OfferID)
+					}
+				}
 				for _, nb := range repl {
 					if nb.SellerID == cfg.ID {
 						continue

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qtrade/internal/ledger"
+	"qtrade/internal/netsim"
+	"qtrade/internal/workload"
+)
+
+// F16Calibration measures how well sellers' quoted costs predict measured
+// execution (extension): a chain federation runs a workload of executed
+// queries with the trading ledger attached, once undisturbed and once with
+// node n2 — a seller the buyer actually purchases from — made slow by a
+// real per-call delay the cost model knows nothing about. The ledger's
+// calibration layer compares each awarded offer's quoted TotalTime against
+// the buyer-measured fetch wall time; per seller it reports bid/win/exec
+// counts, the mean and p95 of the measured/quoted ratio, and the EWMA of
+// the signed quote error. The honest baseline sellers should sit near a
+// shared ratio; the slow seller's ratio and EWMA error should stand out
+// only in the slow variant — that separation is what makes the report
+// actionable for recalibrating a cost model.
+func F16Calibration(queries int, seed int64) *Table {
+	t := &Table{
+		ID:    "F16",
+		Title: "cost-model calibration: measured/quoted per seller (chain; slow variant delays n2)",
+		Header: []string{"config", "seller", "bids", "wins", "win_rate", "execs",
+			"mean_ratio", "p95_ratio", "ewma_err"},
+	}
+	for _, variant := range []struct {
+		name string
+		slow map[string]float64
+	}{
+		{"baseline", nil},
+		{"slow-n2", map[string]float64{"n2": 5}},
+	} {
+		f, opts := chainFed(workload.ChainOptions{Relations: 3, Nodes: 4, Seed: seed})
+		if variant.slow != nil {
+			f.Net.SetFaultPlan(&netsim.FaultPlan{Seed: seed, SlowNodeMS: variant.slow})
+		}
+		led := ledger.New(2 * queries)
+		f.SetLedger(led)
+		for i := 0; i < queries; i++ {
+			q := workload.ChainQuery(opts, 0.3+0.05*float64(i%8))
+			cfg := f.BuyerConfig()
+			cfg.Ledger = led
+			res, err := f.Optimize(cfg, q)
+			if err != nil {
+				continue
+			}
+			if _, err := f.Execute(res); err != nil {
+				continue
+			}
+		}
+		f.SetLedger(nil)
+		rep := led.Calibration()
+		for _, s := range rep.Sellers {
+			t.Rows = append(t.Rows, []string{
+				variant.name, s.Seller, d(s.Bids), d(s.Wins), f2(s.WinRate),
+				d(s.Execs), f2(s.MeanRatio), f2(s.P95Ratio),
+				fmt.Sprintf("%+.2f", s.EWMAErr),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestF16CalibrationSmoke runs the calibration experiment at tiny scale and
+// checks the report separates the slow seller from the honest ones.
+func TestF16CalibrationSmoke(t *testing.T) {
+	tab := F16Calibration(4, 11)
+	if tab.ID != "F16" || len(tab.Rows) == 0 {
+		t.Fatalf("table: %+v", tab)
+	}
+	cols := map[string]int{}
+	for i, h := range tab.Header {
+		cols[h] = i
+	}
+	execs := map[string]int64{} // config -> total measured executions
+	var slowRatio, baseRatio float64
+	for _, r := range tab.Rows {
+		n, err := strconv.ParseInt(r[cols["execs"]], 10, 64)
+		if err != nil {
+			t.Fatalf("execs cell %q: %v", r[cols["execs"]], err)
+		}
+		execs[r[cols["config"]]] += n
+		if r[cols["seller"]] == "n2" && n > 0 {
+			v, err := strconv.ParseFloat(r[cols["mean_ratio"]], 64)
+			if err != nil {
+				t.Fatalf("ratio cell %q: %v", r[cols["mean_ratio"]], err)
+			}
+			switch r[cols["config"]] {
+			case "baseline":
+				baseRatio = v
+			case "slow-n2":
+				slowRatio = v
+			}
+		}
+	}
+	for _, cfgName := range []string{"baseline", "slow-n2"} {
+		if execs[cfgName] == 0 {
+			t.Fatalf("config %s recorded no executions:\n%s", cfgName, render(tab))
+		}
+	}
+	// The injected 5ms delay dwarfs the sub-millisecond honest fetches: the
+	// slow variant's n2 ratio must exceed the baseline's by a wide margin.
+	if slowRatio == 0 || baseRatio == 0 {
+		t.Fatalf("n2 recorded no executions in a variant:\n%s", render(tab))
+	}
+	if slowRatio < 2*baseRatio {
+		t.Fatalf("slow seller not separated: baseline=%.2f slow=%.2f\n%s",
+			baseRatio, slowRatio, render(tab))
+	}
+}
+
+func render(tab *Table) string {
+	var b strings.Builder
+	tab.Fprint(&b)
+	return b.String()
+}

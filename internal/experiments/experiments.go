@@ -18,6 +18,7 @@ import (
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
+	"qtrade/internal/ledger"
 	"qtrade/internal/node"
 	"qtrade/internal/obs"
 	"qtrade/internal/plan"
@@ -94,8 +95,20 @@ var (
 // experiment optimizations; nil, nil detaches.
 func SetObs(tr *obs.Tracer, m *obs.Metrics) { obsTracer, obsMetrics = tr, m }
 
+// expLedger, when set via SetLedger, audits every experiment negotiation so
+// cmd/qtbench -ledger can print a calibration report after a run.
+var expLedger *ledger.Ledger
+
+// SetLedger registers a trading ledger for all subsequent experiment
+// optimizations; nil detaches.
+func SetLedger(l *ledger.Ledger) { expLedger = l }
+
 // instrument injects the registered observability into one optimization.
 func instrument(f *workload.Federation, cfg *core.Config) {
+	if expLedger != nil {
+		cfg.Ledger = expLedger
+		f.SetLedger(expLedger)
+	}
 	if obsTracer == nil && obsMetrics == nil {
 		return
 	}
@@ -692,6 +705,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6}, []int{1, 2, 4, 8}, 2, seed) }},
 		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5}, 4, seed) }},
 		{"F15", func() *Table { return F15Throughput([]int{4, 8}, f15Clients, 4, seed) }},
+		{"F16", func() *Table { return F16Calibration(6, seed) }},
 	}
 }
 
@@ -715,6 +729,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F13", func() *Table { return F13ParallelPricing([]int{2, 6, 12}, []int{1, 2, 4, 8}, 5, seed) }},
 		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5, 7}, 40, seed) }},
 		{"F15", func() *Table { return F15Throughput([]int{8, 16}, f15Clients, 12, seed) }},
+		{"F16", func() *Table { return F16Calibration(20, seed) }},
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
+	"qtrade/internal/ledger"
 	"qtrade/internal/localopt"
 	"qtrade/internal/obs"
 	"qtrade/internal/plan"
@@ -115,11 +116,18 @@ type Node struct {
 	active       atomic.Int64                         // executions in flight, for load-aware pricing
 	obsv         atomic.Pointer[nodeObs]
 	traceLog     atomic.Pointer[obs.TraceLog]
+	ledg         atomic.Pointer[ledger.Ledger]
 }
 
 // SetTraceLog attaches a trace log that retains the most recent sampled
 // subtree this node shipped, for live exposition at /trace/last. Nil detaches.
 func (n *Node) SetTraceLog(l *obs.TraceLog) { n.traceLog.Store(l) }
+
+// SetLedger attaches a trading ledger recording this node's seller-side
+// events: per-query pricing (with price-cache provenance) and measured
+// execution of purchased answers. Nil detaches; detached costs one atomic
+// load per pricing or execution.
+func (n *Node) SetLedger(l *ledger.Ledger) { n.ledg.Store(l) }
 
 // flight is one single-flight pricing of a (RFB, query) pair: the first
 // caller computes offers, every concurrent or later caller for the same pair
@@ -386,12 +394,28 @@ func (g *offerIDGen) next(kind string) string {
 	return fmt.Sprintf("%s/%s%d", g.prefix, kind, g.n)
 }
 
-// offersFor prices one requested query. sp is the node's request-bids span
-// and ob its loaded observer; both are nil when observability is off.
+// offersFor prices one requested query, recording the pricing into the
+// attached trading ledger (offers produced, price-cache provenance, wall
+// time). sp is the node's request-bids span and ob its loaded observer;
+// both are nil when observability is off.
 func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span, ob *nodeObs) []trading.Offer {
+	ldg := n.ledg.Load()
+	if ldg == nil {
+		offers, _ := n.priceQuery(rfb, qr, sp, ob, nil)
+		return offers
+	}
+	t0 := time.Now()
+	offers, cached := n.priceQuery(rfb, qr, sp, ob, ldg)
+	ldg.Priced(rfb.RFBID, rfb.BuyerID, n.cfg.ID, qr.QID, len(offers), cached, msSince(t0))
+	return offers
+}
+
+// priceQuery is the body of offersFor; the second return reports whether
+// the rewrite+DP valuation came from the price cache.
+func (n *Node) priceQuery(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span, ob *nodeObs, ldg *ledger.Ledger) ([]trading.Offer, bool) {
 	sel, err := sqlparse.ParseSelect(qr.SQL)
 	if err != nil {
-		return nil
+		return nil, false
 	}
 	plan.Qualify(sel, n.cfg.Schema)
 	ids := &offerIDGen{prefix: n.cfg.ID + "/" + rfb.RFBID + "/" + qr.QID}
@@ -430,7 +454,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 		dpSp.End()
 	} else {
 		var t0 time.Time
-		if ob != nil {
+		if ob != nil || ldg != nil {
 			t0 = time.Now()
 		}
 		rwSp := sp.Child("rewrite")
@@ -442,8 +466,11 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 		if ob != nil {
 			ob.rewriteMS.Observe(msSince(t0))
 		}
+		if ldg != nil {
+			ldg.ObservePhase(ledger.PhaseRewrite, msSince(t0))
+		}
 		if err != nil {
-			return nil
+			return nil, false
 		}
 		if ob != nil {
 			t0 = time.Now()
@@ -463,7 +490,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 			ob.dpMS.Observe(msSince(t0))
 		}
 		if err != nil {
-			return nil
+			return nil, false
 		}
 		if n.prices != nil {
 			if ev := n.prices.Put(key, pricecache.Entry{Rewritten: rw, Result: res}); ev > 0 && ob != nil {
@@ -519,7 +546,7 @@ func (n *Node) offersFor(rfb trading.RFB, qr trading.QueryRequest, sp *obs.Span,
 	if len(cands) > n.cfg.MaxOffersPerQuery {
 		cands = cands[:n.cfg.MaxOffersPerQuery]
 	}
-	return cands
+	return cands, cached
 }
 
 func (n *Node) offerFromPartial(rfb trading.RFB, qr trading.QueryRequest, rw *rewrite.Rewritten, p *localopt.Partial, origHasAgg bool, fullBindings int, ids *offerIDGen) (trading.Offer, error) {
@@ -801,14 +828,26 @@ func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 		sp = ob.tracer.Start(n.cfg.ID, "execute")
 	}
 	sp.Set("sql", req.SQL)
-	var t0 time.Time
 	if ob != nil {
 		ob.execs.Inc()
-		t0 = time.Now()
 	}
+	// Always measure the execution wall time: ExecMS on the response is the
+	// seller's actual cost behind the quote it bid with, and buyers compare
+	// it against the offer's estimated TotalTime in their trading ledger.
+	t0 := time.Now()
 	resp, err := n.executeInner(req, sp)
+	wall := msSince(t0)
 	if ob != nil {
-		ob.execMS.Observe(msSince(t0))
+		ob.execMS.Observe(wall)
+	}
+	if err == nil {
+		resp.ExecMS = wall
+		// Purchased answers (OfferID set) land in the seller's own ledger;
+		// recursive union-branch executions carry no offer id and stay quiet.
+		if ldg := n.ledg.Load(); ldg != nil && req.OfferID != "" {
+			ldg.Served(rfbOfOffer(req.OfferID), n.cfg.ID, req.OfferID, req.SQL,
+				wall, int64(len(resp.Rows)), int64(resp.WireSize()))
+		}
 	}
 	if err != nil {
 		sp.Set("error", err)
@@ -820,6 +859,17 @@ func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 		n.traceLog.Load().Record(payload)
 	}
 	return resp, err
+}
+
+// rfbOfOffer extracts the RFBID embedded in a node-minted offer id
+// ("<node>/<rfbID>/<qid>/<kind><seq>"), so the seller's served event joins
+// the same ledger record as its pricing. Empty for any other id shape.
+func rfbOfOffer(offerID string) string {
+	parts := strings.Split(offerID, "/")
+	if len(parts) == 4 {
+		return parts[1]
+	}
+	return ""
 }
 
 // executeInner is the body of Execute, with sp the node's execute span (nil

@@ -13,6 +13,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -54,10 +56,15 @@ func promFloat(v float64) string {
 	}
 }
 
+// promHelpEscape escapes help text for a # HELP line (backslash and
+// newline, per the text exposition format).
+var promHelpEscape = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // WritePrometheus writes every registered instrument in Prometheus text
 // exposition format (version 0.0.4), sorted by name. Counters and gauges
 // are single samples; histograms expose cumulative _bucket{le="..."} series
-// over the registry's exponential bounds plus _sum and _count.
+// over the registry's exponential bounds plus _sum and _count. Instruments
+// with registered help text (SetHelp) get a # HELP line ahead of # TYPE.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	if m == nil {
 		return nil
@@ -65,6 +72,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	m.Each(func(name string, instrument any) {
 		pn := promName(name)
+		if h := m.Help(name); h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", pn, promHelpEscape.Replace(h))
+		}
 		switch inst := instrument.(type) {
 		case *Counter:
 			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, inst.Value())
@@ -96,26 +106,35 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	_ = m.WritePrometheus(w)
 }
 
-// TraceLog retains the most recent sampled negotiation's span payload so a
-// live node can serve it at /trace/last. Writers call Record with the
-// payload they are about to ship (seller side) or just rendered (buyer
-// side); readers get JSONL identical in shape to Tracer.WriteJSONL.
+// traceLogKeep is how many recent sampled traces a TraceLog retains.
+const traceLogKeep = 8
+
+// TraceLog retains a small ring of the most recently sampled negotiations'
+// span payloads so a live node can serve them at /trace/last. Writers call
+// Record with the payload they are about to ship (seller side) or just
+// rendered (buyer side); readers get JSONL identical in shape to
+// Tracer.WriteJSONL.
 type TraceLog struct {
-	mu   sync.Mutex
-	last *SpanPayload
-	at   time.Time
+	mu     sync.Mutex
+	recent []*SpanPayload // newest last, at most traceLogKeep
+	at     time.Time      // when the newest was recorded
 }
 
 // NewTraceLog returns an empty trace log.
 func NewTraceLog() *TraceLog { return &TraceLog{} }
 
-// Record stores p as the most recent trace. Nil-safe on both sides.
+// Record stores p as the most recent trace, evicting the oldest once the
+// ring holds traceLogKeep. Nil-safe on both sides.
 func (l *TraceLog) Record(p *SpanPayload) {
 	if l == nil || p == nil {
 		return
 	}
 	l.mu.Lock()
-	l.last, l.at = p, time.Now()
+	l.recent = append(l.recent, p)
+	if len(l.recent) > traceLogKeep {
+		l.recent = l.recent[len(l.recent)-traceLogKeep:]
+	}
+	l.at = time.Now()
 	l.mu.Unlock()
 }
 
@@ -127,30 +146,78 @@ func (l *TraceLog) Last() (*SpanPayload, time.Time) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.last, l.at
+	if len(l.recent) == 0 {
+		return nil, time.Time{}
+	}
+	return l.recent[len(l.recent)-1], l.at
 }
 
-// ServeHTTP serves the most recent sampled trace as span JSONL, or 404 when
-// none has been recorded yet.
-func (l *TraceLog) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	p, _ := l.Last()
-	if p == nil {
+// Recent returns up to n retained payloads, newest first (all retained when
+// n <= 0).
+func (l *TraceLog) Recent(n int) []*SpanPayload {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := len(l.recent)
+	if n > 0 && n < k {
+		k = n
+	}
+	out := make([]*SpanPayload, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, l.recent[len(l.recent)-1-i])
+	}
+	return out
+}
+
+// ServeHTTP serves sampled traces as span JSONL: the most recent one by
+// default, the last k (newest first) with ?n=k. 404 when none has been
+// recorded yet.
+func (l *TraceLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := 1
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	ps := l.Recent(n)
+	if len(ps) == 0 {
 		http.Error(w, "no sampled trace recorded yet", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
-	_ = WritePayloadJSONL(w, p)
+	for _, p := range ps {
+		_ = WritePayloadJSONL(w, p)
+	}
+}
+
+// Endpoint mounts one extra handler on the exposition mux — how packages
+// the obs layer must not depend on (e.g. the trading ledger) join a node's
+// observability surface.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
 }
 
 // Handler mounts the exposition surface on a fresh mux: /metrics (when m is
-// non-nil), /trace/last (when tl is non-nil), and /debug/pprof/*.
-func Handler(m *Metrics, tl *TraceLog) http.Handler {
+// non-nil), /trace/last (when tl is non-nil), /debug/pprof/*, plus any
+// extra endpoints (skipping nil handlers).
+func Handler(m *Metrics, tl *TraceLog, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	if m != nil {
 		mux.Handle("/metrics", m)
 	}
 	if tl != nil {
 		mux.Handle("/trace/last", tl)
+	}
+	for _, e := range extra {
+		if e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
@@ -10,11 +11,13 @@ import (
 )
 
 // TestPrometheusGolden pins the exact exposition text for counters and
-// gauges, including name sanitization — the format third-party scrapers
-// parse, so any change here is a breaking change.
+// gauges, including name sanitization and optional # HELP lines — the
+// format third-party scrapers parse, so any change here is a breaking
+// change. Instruments without registered help text get no # HELP line.
 func TestPrometheusGolden(t *testing.T) {
 	m := NewMetrics()
 	m.Counter("node.n1.rfbs").Add(7)
+	m.SetHelp("node.n1.rfbs", "RFBs served by this seller")
 	m.Gauge("fault.breaker.n1-open").Set(1)
 	m.Counter("buyer.hq.iterations").Add(3)
 
@@ -27,12 +30,31 @@ func TestPrometheusGolden(t *testing.T) {
 		"buyer_hq_iterations 3",
 		"# TYPE fault_breaker_n1_open gauge",
 		"fault_breaker_n1_open 1",
+		"# HELP node_n1_rfbs RFBs served by this seller",
 		"# TYPE node_n1_rfbs counter",
 		"node_n1_rfbs 7",
 		"",
 	}, "\n")
 	if b.String() != want {
 		t.Fatalf("prometheus text drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestPrometheusHelpEscaping pins the # HELP escaping rules (backslash and
+// newline) and the nil-registry no-op.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a.b").Inc()
+	m.SetHelp("a.b", "line one\nwith \\ backslash")
+	var b strings.Builder
+	_ = m.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `# HELP a_b line one\nwith \\ backslash`) {
+		t.Fatalf("help escaping:\n%s", b.String())
+	}
+	var nilM *Metrics
+	nilM.SetHelp("x", "y") // must not panic
+	if nilM.Help("x") != "" {
+		t.Fatal("nil registry returned help")
 	}
 }
 
@@ -155,6 +177,106 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if code, _, _ := get("/debug/pprof/cmdline"); code != 200 {
 		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+
+	// Unknown paths must 404, not fall through to some handler.
+	if code, _, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path: %d, want 404", code)
+	}
+}
+
+// TestTraceLogRing pins the last-8 retention and the /trace/last?n=k view:
+// newest first, n unset = single most recent, bad n = 400.
+func TestTraceLogRing(t *testing.T) {
+	tl := NewTraceLog()
+	for i := 0; i < 12; i++ {
+		tl.Record(&SpanPayload{Name: "t" + strconv.Itoa(i)})
+	}
+	if p, _ := tl.Last(); p == nil || p.Name != "t11" {
+		t.Fatalf("Last: %+v", p)
+	}
+	rec := tl.Recent(0)
+	if len(rec) != 8 || rec[0].Name != "t11" || rec[7].Name != "t4" {
+		t.Fatalf("ring retention: %d traces, first %s last %s", len(rec), rec[0].Name, rec[len(rec)-1].Name)
+	}
+	if got := tl.Recent(3); len(got) != 3 || got[2].Name != "t9" {
+		t.Fatalf("Recent(3): %+v", got)
+	}
+
+	serve := func(path string) (int, string) {
+		rw := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", path, nil)
+		tl.ServeHTTP(rw, req)
+		return rw.Code, rw.Body.String()
+	}
+	code, body := serve("/trace/last")
+	if code != 200 || strings.Count(body, `"name"`) < 1 || strings.Contains(body, "t10") {
+		t.Fatalf("default must serve only the newest: %d\n%s", code, body)
+	}
+	code, body = serve("/trace/last?n=3")
+	if code != 200 {
+		t.Fatalf("?n=3: %d", code)
+	}
+	for _, want := range []string{"t11", "t10", "t9"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("?n=3 missing %s:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "t8\"") {
+		t.Fatalf("?n=3 served more than 3:\n%s", body)
+	}
+	if code, _ := serve("/trace/last?n=0"); code != 400 {
+		t.Fatalf("n=0 should 400, got %d", code)
+	}
+	if code, _ := serve("/trace/last?n=x"); code != 400 {
+		t.Fatalf("n=x should 400, got %d", code)
+	}
+}
+
+// TestHandlerExtraEndpoints checks the variadic endpoint mounting used by
+// the trading ledger's /ledger and /calibration.
+func TestHandlerExtraEndpoints(t *testing.T) {
+	hit := ""
+	mk := func(name string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			hit = name
+			w.WriteHeader(200)
+		})
+	}
+	h := Handler(nil, nil,
+		Endpoint{Path: "/ledger", Handler: mk("ledger")},
+		Endpoint{Path: "/calibration", Handler: mk("calibration")},
+		Endpoint{Path: "/nil", Handler: nil})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, path := range []string{"/ledger", "/calibration"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || hit != strings.TrimPrefix(path, "/") {
+			t.Fatalf("%s: %d (hit=%q)", path, resp.StatusCode, hit)
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/nil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("nil-handler endpoint must stay unmounted: %d", resp.StatusCode)
+	}
+	// Without a metrics registry or trace log those paths 404 too.
+	for _, path := range []string{"/metrics", "/trace/last"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s with nil backends: %d", path, resp.StatusCode)
+		}
 	}
 }
 

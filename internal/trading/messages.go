@@ -164,16 +164,20 @@ func (e *ExecReq) WireSize() int {
 }
 
 // ExecResp carries a shipped query answer and, when the request was sampled,
-// the seller's execution span subtree.
+// the seller's execution span subtree. ExecMS is the seller's own measured
+// execution wall time in milliseconds — the actual cost behind the quote it
+// bid with, which the buyer's trading ledger compares against the offer's
+// estimated TotalTime for cost-model calibration.
 type ExecResp struct {
-	Cols  []ColSpec
-	Rows  []value.Row
-	Trace *obs.SpanPayload
+	Cols   []ColSpec
+	Rows   []value.Row
+	ExecMS float64
+	Trace  *obs.SpanPayload
 }
 
 // WireSize estimates the network size of a shipped answer.
 func (e *ExecResp) WireSize() int {
-	n := 16 + 24*len(e.Cols) + e.Trace.WireSize()
+	n := 24 + 24*len(e.Cols) + e.Trace.WireSize()
 	for _, r := range e.Rows {
 		for _, v := range r {
 			switch v.K {

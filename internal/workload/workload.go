@@ -19,6 +19,7 @@ import (
 	"qtrade/internal/core"
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
+	"qtrade/internal/ledger"
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
 	"qtrade/internal/obs"
@@ -57,6 +58,15 @@ func (f *Federation) Oracle() *node.Node { return f.oracle }
 func (f *Federation) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 	for _, n := range f.Nodes {
 		n.SetObs(tr, m)
+	}
+}
+
+// SetLedger attaches a trading ledger to every node's seller path (nil
+// detaches). Pair it with a core.Config carrying the same Ledger so buyer
+// and seller events land in the same negotiation records.
+func (f *Federation) SetLedger(l *ledger.Ledger) {
+	for _, n := range f.Nodes {
+		n.SetLedger(l)
 	}
 }
 

@@ -1,0 +1,112 @@
+package qtrade
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildLedgerFed is buildFed with the trading ledger enabled at creation.
+func buildLedgerFed(t *testing.T, fopts []FederationOption, opts ...NodeOption) *Federation {
+	t.Helper()
+	sch := NewSchema()
+	sch.MustTable("customer",
+		Col("custid", Int), Col("custname", Str), Col("office", Str))
+	sch.MustTable("invoiceline",
+		Col("invid", Int), Col("linenum", Int), Col("custid", Int), Col("charge", Float))
+	sch.MustPartition("customer",
+		Part("corfu", "office = 'Corfu'"),
+		Part("myconos", "office = 'Myconos'"),
+		Part("athens", "office = 'Athens'"))
+
+	fed := NewFederation(sch, fopts...)
+	offices := map[string][][]any{
+		"corfu":   {{1, "alice", "Corfu"}, {2, "bob", "Corfu"}},
+		"myconos": {{3, "carol", "Myconos"}, {5, "eve", "Myconos"}},
+		"athens":  {{4, "dave", "Athens"}},
+	}
+	lines := [][]any{
+		{100, 1, 1, 10.0}, {100, 2, 1, 5.0}, {101, 1, 2, 7.0},
+		{102, 1, 3, 20.0}, {103, 1, 5, 2.0}, {104, 1, 4, 100.0},
+	}
+	for id, custRows := range offices {
+		n := fed.MustAddNode(id, opts...)
+		n.MustCreateFragment("customer", id)
+		for _, r := range custRows {
+			n.MustInsert("customer", id, Row(r...))
+		}
+		if id != "athens" {
+			n.MustCreateFragment("invoiceline", "p0")
+			for _, r := range lines {
+				n.MustInsert("invoiceline", "p0", Row(r...))
+			}
+		}
+	}
+	fed.MustAddNode("hq", opts...)
+	return fed
+}
+
+func TestWithLedgerEndToEnd(t *testing.T) {
+	fed := buildLedgerFed(t, []FederationOption{WithLedger(16)})
+	if fed.Ledger() == nil {
+		t.Fatal("WithLedger did not attach a ledger")
+	}
+	res, err := fed.Query("hq", totalsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+
+	var buf bytes.Buffer
+	if err := fed.WriteLedgerJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind":"rfb"`, `"kind":"bid"`, `"kind":"award"`,
+		`"kind":"exec"`, `"kind":"fetch"`, `"kind":"priced"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ledger JSONL missing %s:\n%s", want, out)
+		}
+	}
+
+	rep := fed.CalibrationReport()
+	if rep.Negotiations == 0 {
+		t.Fatalf("calibration saw no negotiations: %+v", rep)
+	}
+	if len(rep.Sellers) == 0 {
+		t.Fatal("calibration saw no sellers")
+	}
+	execs := int64(0)
+	for _, s := range rep.Sellers {
+		execs += s.Execs
+	}
+	if execs == 0 {
+		t.Fatalf("no seller recorded a measured execution: %+v", rep.Sellers)
+	}
+	if !strings.Contains(rep.Text(), "seller calibration") {
+		t.Fatalf("report text: %s", rep.Text())
+	}
+}
+
+func TestWithoutLedgerIsInert(t *testing.T) {
+	fed := buildLedgerFed(t, nil)
+	if fed.Ledger() != nil {
+		t.Fatal("ledger should be nil by default")
+	}
+	if _, err := fed.Query("hq", totalsQuery); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fed.WriteLedgerJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected ledger output: %s", buf.String())
+	}
+	rep := fed.CalibrationReport()
+	if rep.Negotiations != 0 || len(rep.Sellers) != 0 {
+		t.Fatalf("report should be zero: %+v", rep)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"qtrade/internal/core"
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
+	"qtrade/internal/ledger"
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
 	"qtrade/internal/obs"
@@ -198,16 +199,21 @@ type Federation struct {
 	nodes   map[string]*Node
 	metrics *obs.Metrics
 	faults  *trading.FaultPolicy
+	ledger  *ledger.Ledger // nil unless WithLedger; immutable after creation
 }
 
 // NewFederation creates an empty federation over the schema.
-func NewFederation(s *Schema) *Federation {
-	return &Federation{
+func NewFederation(s *Schema, opts ...FederationOption) *Federation {
+	f := &Federation{
 		schema:  s,
 		net:     netsim.New(),
 		nodes:   map[string]*Node{},
 		metrics: obs.NewMetrics(),
 	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
 }
 
 // Node is one autonomous federation member.
@@ -228,6 +234,7 @@ func (f *Federation) AddNode(id string, opts ...NodeOption) (*Node, error) {
 		o(&cfg)
 	}
 	n := &Node{inner: node.New(cfg), fed: f}
+	n.inner.SetLedger(f.ledger)
 	f.nodes[id] = n
 	f.net.Register(id, n.inner)
 	return n, nil
@@ -385,7 +392,8 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: faults}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics,
+		Faults: faults, Ledger: f.ledger}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -504,7 +512,8 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 	if !ok {
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
-	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics, Faults: faults}
+	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics,
+		Faults: faults, Ledger: f.ledger}
 	for _, o := range opts {
 		o(&cfg)
 	}

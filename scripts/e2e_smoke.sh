@@ -3,9 +3,12 @@
 # Depth-1 subcontract peering and live /metrics exposition), one traced
 # qtsql query, then assertions that
 #   1. the buyer's saved trace contains at least one remote seller span
-#      (grafted from a qtnode process, not recorded in-process), and
+#      (grafted from a qtnode process, not recorded in-process),
 #   2. each node's /metrics endpoint serves Prometheus text that reflects
-#      the negotiation (TYPE lines + a non-zero RFB counter).
+#      the negotiation (TYPE lines + a non-zero RFB counter), and
+#   3. the buyer's live /ledger serves a complete negotiation chain (RFB,
+#      bids, an award, execution with measured actuals) and /calibration
+#      reports per-seller quoted-vs-measured ratios.
 set -eu
 
 dir="$(mktemp -d)"
@@ -65,24 +68,66 @@ wait_tcp http://127.0.0.1:9101/metrics
 wait_tcp http://127.0.0.1:9102/metrics
 
 echo "== traced query"
-run_qtsql() {
-    printf '%s\n' \
-        '\trace on' \
-        "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')" \
-        "\\trace save $dir/trace.json" \
-        '\quit' \
-        | "$dir/qtsql" -connect corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
-            >"$dir/qtsql.log" 2>&1
-}
+# qtsql reads commands from a fifo so the shell stays alive — with its
+# /ledger and /calibration endpoints live — while we scrape them; only then
+# does \quit go down the pipe.
+fifo="$dir/qtsql.in"
 qtsql_ok=0
 for _ in 1 2 3; do
-    if run_qtsql; then qtsql_ok=1; break; fi
+    rm -f "$fifo"; mkfifo "$fifo"
+    "$dir/qtsql" -connect corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
+        -obs-addr 127.0.0.1:9100 <"$fifo" >"$dir/qtsql.log" 2>&1 &
+    qtsql_pid=$!
+    pids="$pids $qtsql_pid"
+    exec 3>"$fifo"
+    for _ in $(seq 1 50); do
+        grep -q "connected to myconos" "$dir/qtsql.log" 2>/dev/null && { qtsql_ok=1; break; }
+        kill -0 "$qtsql_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    [ "$qtsql_ok" = 1 ] && break
+    exec 3>&-
+    kill "$qtsql_pid" 2>/dev/null || true
     sleep 0.5
 done
 [ "$qtsql_ok" = 1 ] || {
-    echo "FAIL: qtsql could not complete against the cluster"; cat "$dir/qtsql.log"; exit 1; }
-grep -q "wrote Chrome trace" "$dir/qtsql.log" || {
+    echo "FAIL: qtsql could not connect to the cluster"; cat "$dir/qtsql.log"; exit 1; }
+printf '%s\n' \
+    '\trace on' \
+    "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')" \
+    "\\trace save $dir/trace.json" >&3
+trace_ok=0
+for _ in $(seq 1 100); do
+    grep -q "wrote Chrome trace" "$dir/qtsql.log" 2>/dev/null && { trace_ok=1; break; }
+    kill -0 "$qtsql_pid" 2>/dev/null || break
+    sleep 0.1
+done
+[ "$trace_ok" = 1 ] || {
     echo "FAIL: qtsql did not save a trace"; cat "$dir/qtsql.log"; exit 1; }
+
+echo "== assert /ledger and /calibration on the live buyer"
+wait_tcp http://127.0.0.1:9100/metrics
+curl -fsS "http://127.0.0.1:9100/ledger" >"$dir/ledger.jsonl"
+# A complete negotiation chain: RFB out, bids in, an award, and execution
+# with buyer-measured actuals on the fetch.
+for want in '"kind":"rfb"' '"kind":"bid"' '"kind":"award"' '"kind":"exec"' '"kind":"fetch"' '"wall_ms"'; do
+    grep -q -- "$want" "$dir/ledger.jsonl" || {
+        echo "FAIL: /ledger missing $want"; cat "$dir/ledger.jsonl"; exit 1; }
+done
+curl -fsS "http://127.0.0.1:9100/calibration" >"$dir/calibration.json"
+for want in '"sellers"' '"corfu"' '"mean_ratio"' '"win_rate"'; do
+    grep -q -- "$want" "$dir/calibration.json" || {
+        echo "FAIL: /calibration missing $want"; cat "$dir/calibration.json"; exit 1; }
+done
+# The sellers audit their side too: pricing events keyed by the buyer's RFB.
+curl -fsS "http://127.0.0.1:9101/ledger" >"$dir/ledger.corfu.jsonl"
+grep -q '"kind":"priced"' "$dir/ledger.corfu.jsonl" || {
+    echo "FAIL: corfu ledger has no pricing events"; cat "$dir/ledger.corfu.jsonl"; exit 1; }
+
+printf '\\quit\n' >&3
+exec 3>&-
+wait "$qtsql_pid" || {
+    echo "FAIL: qtsql exited non-zero"; cat "$dir/qtsql.log"; exit 1; }
 
 echo "== assert remote seller spans in the buyer's trace"
 # The Chrome trace names one process per source node; seller-side pricing
