@@ -234,6 +234,31 @@ func BenchmarkExpF16Calibration(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF17Churn regenerates F17: closed-loop load through a churn
+// window where a replacement seller joins, one seller drains and one
+// crashes mid-run. Reported metrics: recovered-phase qps (column 1 of the
+// last row) and total failed queries across all phases, which must be zero
+// — churn that loses queries is a correctness bug, not a slow run.
+func BenchmarkExpF17Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F17Churn(4, 3, 6, int64(i))
+		failed := 0.0
+		for _, r := range tab.Rows {
+			v, err := strconv.ParseFloat(r[4], 64)
+			if err != nil {
+				b.Fatalf("F17 failed count %q: %v", r[4], err)
+			}
+			failed += v
+		}
+		if failed != 0 {
+			b.Fatalf("F17 lost %v queries to churn: %v", failed, tab.Rows)
+		}
+		b.ReportMetric(failed, "failed_queries")
+		lastRowMetric(b, tab, 1, "recovered_qps")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

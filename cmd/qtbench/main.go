@@ -45,7 +45,7 @@ func main() {
 	metricsDump := flag.Bool("metrics", false, "print the metrics snapshot after the run")
 	clients := flag.String("clients", "", "comma-separated closed-loop client counts for F15 (e.g. 1,2,4,8)")
 	ledgerDump := flag.Bool("ledger", false, "audit every negotiation in a trading ledger and print the calibration report after the run")
-	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F16; default all")
+	flag.Var(&exps, "exp", "experiment id to run (repeatable): T1, F1..F17; default all")
 	flag.Parse()
 
 	if *clients != "" {
@@ -97,7 +97,7 @@ func main() {
 		printed++
 	}
 	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F16)\n", exps)
+		fmt.Fprintf(os.Stderr, "qtbench: no experiment matched %v (have T1, T2, F1..F17)\n", exps)
 		os.Exit(1)
 	}
 

@@ -9,8 +9,11 @@
 //
 // A buyer process can then dial each node with netsim.DialPeer and run the
 // same trading protocols used in simulation. On SIGINT/SIGTERM the node
-// prints its seller-side metrics (RFBs served, offers priced, pricing
-// latency histograms) before exiting.
+// drains gracefully: new Depth-0 RFBs are refused while in-flight awards
+// and deliveries finish (bounded by -drain-timeout), standing offers are
+// revoked, and the seller-side metrics (RFBs served, offers priced, pricing
+// latency histograms) are printed before exiting. A second signal exits
+// without waiting.
 package main
 
 import (
@@ -46,7 +49,8 @@ func main() {
 	slow := flag.Duration("slow", 0, "delay added to every served call (simulate a straggling seller)")
 	seed := flag.Int64("seed", 1, "data seed (must match across the federation)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
-	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics (Prometheus text), /debug/pprof/*, /trace/last, /ledger and /calibration (empty = no exposition)")
+	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics (Prometheus text), /healthz, /debug/pprof/*, /trace/last, /ledger and /calibration (empty = no exposition)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight work before revoking standing offers and exiting")
 	peersFlag := flag.String("peers", "", "subcontract peers as id=addr,... — enables §3.5 Depth-1 subcontracting over net/rpc (peers are dialed lazily)")
 	flag.Parse()
 
@@ -99,7 +103,8 @@ func main() {
 		go func() {
 			h := obs.Handler(metrics, traceLog,
 				obs.Endpoint{Path: "/ledger", Handler: led},
-				obs.Endpoint{Path: "/calibration", Handler: led.CalibrationHandler()})
+				obs.Endpoint{Path: "/calibration", Handler: led.CalibrationHandler()},
+				obs.HealthEndpoint(func() any { return n.Health() }))
 			if err := http.ListenAndServe(*obsAddr, h); err != nil {
 				slog.Error("obs server failed", "addr", *obsAddr, "err", err)
 			}
@@ -121,11 +126,30 @@ func main() {
 	fmt.Printf("qtnode %s serving office %s on %s (tables: %v)\n",
 		*id, *office, ln.Addr(), n.Store().Tables())
 
-	sig := make(chan os.Signal, 1)
+	// Graceful drain: the first SIGINT/SIGTERM flips the node to Draining —
+	// new Depth-0 RFBs are refused with a typed drain rejection (buyers skip
+	// this node without burning retries) while in-flight awards, deliveries
+	// and subcontracts run to completion (bounded by -drain-timeout). Only
+	// then are the remaining standing offers revoked and the listener
+	// closed. A second signal skips the wait and exits hard.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	n.Drain("signal")
+	slog.Info("draining", "id", *id, "timeout", *drainTimeout)
+	quiesced := make(chan bool, 1)
+	go func() { quiesced <- n.Quiesce(*drainTimeout) }()
+	select {
+	case ok := <-quiesced:
+		if !ok {
+			slog.Warn("drain timeout elapsed with work still in flight", "id", *id)
+		}
+	case <-sig:
+		slog.Warn("second signal: exiting without waiting for quiesce", "id", *id)
+	}
+	revoked := n.RevokeStandingOffers()
 	_ = ln.Close()
-	slog.Info("shutting down", "id", *id)
+	slog.Info("shutting down", "id", *id, "standing_offers_revoked", revoked)
 	if snap := metrics.Snapshot(); snap != "" {
 		fmt.Printf("-- seller metrics for %s --\n%s", *id, snap)
 	}

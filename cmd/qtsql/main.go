@@ -14,9 +14,12 @@
 // the retained records as JSONL and \calibration prints the per-seller
 // quoted-vs-measured cost report. In simulation mode
 // the federation can be perturbed interactively: \down <node> and
-// \up <node> toggle node failures, \chaos <seed> <rate> installs a seeded
-// chaos plan dropping the given fraction of requests (\chaos off removes
-// it).
+// \up <node> toggle node failures, \drain <node> and \undrain <node> walk a
+// node through the elastic lifecycle (a draining node refuses new
+// negotiations but finishes in-flight work; \nodes shows each node's
+// lifecycle state and queue depths), and \chaos <seed> <rate> installs a
+// seeded chaos plan dropping the given fraction of requests (\chaos off
+// removes it).
 package main
 
 import (
@@ -188,7 +191,8 @@ func main() {
 	slog.Info("federation ready", "offices", *offices, "customers", *customers)
 	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
 	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\ledger", "\calibration",`)
-	fmt.Println(`  "\stats", "\nodes", "\down <node>", "\up <node>", "\chaos <seed> <rate>" or "\quit"`)
+	fmt.Println(`  "\stats", "\nodes", "\down <node>", "\up <node>", "\drain <node>", "\undrain <node>",`)
+	fmt.Println(`  "\chaos <seed> <rate>" or "\quit"`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -229,6 +233,23 @@ func main() {
 				fmt.Printf("%s is back up\n", id)
 			}
 			continue
+		case strings.HasPrefix(line, `\drain `) || strings.HasPrefix(line, `\undrain `):
+			drain := strings.HasPrefix(line, `\drain `)
+			id := strings.TrimSpace(line[strings.Index(line, " ")+1:])
+			n, ok := f.Nodes[id]
+			if !ok {
+				fmt.Printf("unknown node %q\n", id)
+				continue
+			}
+			if drain {
+				n.Drain("operator")
+				fmt.Printf("%s draining: new negotiations refused, in-flight work finishes (\\undrain %s to rejoin)\n", id, id)
+			} else if n.Undrain() {
+				fmt.Printf("%s active again\n", id)
+			} else {
+				fmt.Printf("%s is not draining (state %s)\n", id, n.State())
+			}
+			continue
 		case strings.HasPrefix(line, `\chaos`):
 			args := strings.Fields(strings.TrimPrefix(line, `\chaos`))
 			switch {
@@ -256,7 +277,9 @@ func main() {
 			sort.Strings(ids)
 			for _, id := range ids {
 				n := f.Nodes[id]
-				fmt.Printf("  %-10s tables=%v\n", id, n.Store().Tables())
+				h := n.Health()
+				fmt.Printf("  %-10s state=%-8s ready=%-5v queue=%d inflight=%d tables=%v\n",
+					id, h.State, h.Ready, h.QueueDepth, h.InflightRFBs, n.Store().Tables())
 			}
 			continue
 		case s.command(line):

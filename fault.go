@@ -146,6 +146,9 @@ func (f *Federation) EnableFaultTolerance(ft FaultTolerance) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.faults = pol
+	// The peer directory folds circuit state into its health gate, so a
+	// peer with an open breaker is skipped as early as a draining one.
+	f.dir.Breakers = pol.Breakers
 	for _, n := range f.nodes {
 		n.inner.SetFaultPolicy(pol)
 	}

@@ -63,6 +63,13 @@ type Config struct {
 	// ExcludeSellers drops the named peers from the negotiation (used by
 	// execution-time recovery to re-optimize around a failed seller).
 	ExcludeSellers map[string]bool
+	// Directory, when set, health-gates the peer view resolved for this
+	// negotiation: peers recorded as draining or left — or whose circuit
+	// breaker is open — are skipped before any RFB is sent, and call
+	// outcomes feed back into it (a drain rejection marks the peer
+	// draining; a successful exchange refreshes last-seen and clears an
+	// observed drain). Nil gates nothing.
+	Directory *trading.Directory
 	// PeerLatency, when set, returns the buyer's measured one-way latency
 	// to a seller in cost-model time units. Sellers price delivery with
 	// their own network constants; the buyer corrects each offer's total
@@ -162,6 +169,43 @@ func (p countingPeer) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
 	rep, err := p.Peer.RequestBids(rfb)
 	if err == nil && len(rep.Offers) == 0 {
 		p.empty.Add(1)
+	}
+	return rep, err
+}
+
+// directoryPeer feeds call outcomes back into the shared peer directory: a
+// successful exchange refreshes last-seen (undraining the peer if a drain
+// had been observed), a drain rejection marks the peer draining so the next
+// negotiation's health gate skips it without spending a round-trip.
+type directoryPeer struct {
+	trading.Peer
+	id  string
+	dir *trading.Directory
+}
+
+func (p directoryPeer) observe(err error) {
+	switch {
+	case err == nil:
+		p.dir.Seen(p.id)
+	case trading.FailureReason(err) == "drain":
+		p.dir.MarkState(p.id, trading.StateDraining)
+	}
+}
+
+func (p directoryPeer) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
+	rep, err := p.Peer.RequestBids(rfb)
+	p.observe(err)
+	return rep, err
+}
+
+func (p directoryPeer) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
+	rep, err := p.Peer.ImproveBids(req)
+	// A draining seller still serves improvement rounds (with an empty
+	// reply), so a successful improve is NOT evidence the peer undrained —
+	// only failures feed back here. RequestBids success is the undrain
+	// signal: draining nodes refuse those.
+	if err != nil {
+		p.observe(err)
 	}
 	return rep, err
 }
@@ -283,9 +327,21 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	for id := range cfg.ExcludeSellers {
 		delete(peers, id)
 	}
+	for id := range peers {
+		// Health gate: don't spend an RFB round-trip on a peer known to be
+		// draining or left, or whose breaker is open. The directory is an
+		// exclusion list — unknown peers pass.
+		if !cfg.Directory.Eligible(id) {
+			delete(peers, id)
+		}
+	}
 	var emptyReplies atomic.Int64
 	for id, p := range peers {
-		peers[id] = countingPeer{Peer: cfg.Faults.Wrap(id, p), empty: &emptyReplies}
+		guarded := cfg.Faults.Wrap(id, p)
+		if cfg.Directory != nil {
+			guarded = directoryPeer{Peer: guarded, id: id, dir: cfg.Directory}
+		}
+		peers[id] = countingPeer{Peer: guarded, empty: &emptyReplies}
 	}
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {

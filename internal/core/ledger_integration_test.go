@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"qtrade/internal/exec"
 	"qtrade/internal/ledger"
 	"qtrade/internal/obs"
+	"qtrade/internal/trading"
 )
 
 // TestLedgerAuditsNegotiationEndToEnd: with a shared ledger on buyer and
@@ -126,5 +128,80 @@ func TestLedgerRecordsRecovery(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no recovery event recorded")
+	}
+}
+
+// recoveryReason runs one crash-or-drain delivery failure through
+// OptimizeAndExecute with a ledger attached and returns the Reason recorded
+// on the resulting recovery event.
+func recoveryReason(t *testing.T, deliverErr func(to string) error) string {
+	t.Helper()
+	f := buildFederation(t, nil)
+	q := "SELECT i.invid, i.charge FROM invoiceline i WHERE i.charge > 4"
+	led := ledger.New(8)
+
+	cfg := athensCfg(f)
+	cfg.Metrics = obs.NewMetrics()
+	cfg.Faults = testPolicy(cfg.Metrics)
+	cfg.Ledger = led
+
+	comm := &NetComm{Net: f.net, SelfID: "athens"}
+	res, err := Optimize(cfg, comm, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := res.Candidate.Offers[0].SellerID
+	fail := &failDeliver{Comm: comm, victim: winner, mkErr: deliverErr}
+
+	if _, _, _, err := OptimizeAndExecute(cfg, fail,
+		&exec.Executor{Store: f.athens.Store()}, q, 2); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	for _, n := range led.Negotiations(0) {
+		for _, e := range n.Events {
+			if e.Kind == ledger.KindRecovery {
+				return e.Reason
+			}
+		}
+	}
+	t.Fatal("no recovery event recorded")
+	return ""
+}
+
+// failDeliver fails every Fetch to the victim with a caller-supplied error.
+type failDeliver struct {
+	Comm
+	victim string
+	mkErr  func(to string) error
+}
+
+func (c *failDeliver) Fetch(to string, req trading.ExecReq) (trading.ExecResp, error) {
+	if to == c.victim {
+		return trading.ExecResp{}, c.mkErr(to)
+	}
+	return c.Comm.Fetch(to, req)
+}
+
+// TestRecoveryEventsClassifyFailureReason pins the audit trail's why-column
+// (the satellite-3 regression: a crash between award and fetch used to
+// surface as a generic error). A crash lands a recovery event with Reason
+// "crash" — whether typed or flattened to text by an RPC boundary — and a
+// typed drain rejection lands "drain".
+func TestRecoveryEventsClassifyFailureReason(t *testing.T) {
+	typedCrash := func(to string) error {
+		return trading.MarkTransient(fmt.Errorf("netsim: node %q crashed: %w", to, trading.ErrPeerCrashed))
+	}
+	if r := recoveryReason(t, typedCrash); r != "crash" {
+		t.Fatalf("typed crash classified %q, want \"crash\"", r)
+	}
+	flattenedCrash := func(to string) error { return fmt.Errorf("node %s crashed", to) }
+	if r := recoveryReason(t, flattenedCrash); r != "crash" {
+		t.Fatalf("flattened crash classified %q, want \"crash\"", r)
+	}
+	drain := func(to string) error {
+		return trading.MarkTransient(fmt.Errorf("node %s: execute refused: %w", to, trading.ErrDraining))
+	}
+	if r := recoveryReason(t, drain); r != "drain" {
+		t.Fatalf("drain rejection classified %q, want \"drain\"", r)
 	}
 }

@@ -9,12 +9,13 @@ import (
 )
 
 // trackingComm wraps a Comm and records which sellers failed to deliver a
-// purchased answer.
+// purchased answer, keeping the first error per seller so recovery can
+// classify why (crash vs drain vs timeout) in its audit trail.
 type trackingComm struct {
 	inner Comm
 
 	mu     sync.Mutex
-	failed map[string]bool
+	failed map[string]error
 }
 
 func (c *trackingComm) Peers() map[string]trading.Peer { return c.inner.Peers() }
@@ -25,10 +26,31 @@ func (c *trackingComm) Fetch(to string, req trading.ExecReq) (trading.ExecResp, 
 	resp, err := c.inner.Fetch(to, req)
 	if err != nil {
 		c.mu.Lock()
-		c.failed[to] = true
+		if c.failed[to] == nil {
+			c.failed[to] = err
+		}
 		c.mu.Unlock()
 	}
 	return resp, err
+}
+
+// failedSet returns the failed sellers as the set shape substituteOffers
+// consumes.
+func (c *trackingComm) failedSet() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.failed))
+	for id := range c.failed {
+		out[id] = true
+	}
+	return out
+}
+
+// reasonFor classifies the recorded failure of one seller.
+func (c *trackingComm) reasonFor(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return trading.FailureReason(c.failed[id])
 }
 
 // guardedComm runs a Comm's exchanges under a FaultPolicy: Fetch gets the
@@ -79,7 +101,7 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 		if err != nil {
 			return nil, nil, attempt, err
 		}
-		tc := &trackingComm{inner: execComm, failed: map[string]bool{}}
+		tc := &trackingComm{inner: execComm, failed: map[string]error{}}
 		sp := cfg.Tracer.Start(cfg.ID, "execute")
 		sp.Set("attempt", attempt)
 		out, err := executeUnder(tc, localExec, res, sp)
@@ -102,7 +124,7 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 						oldSeller[o.OfferID] = o.SellerID
 					}
 				}
-				repl, ok := substituteOffers(res, tc.failed)
+				repl, ok := substituteOffers(res, tc.failedSet())
 				if !ok {
 					break
 				}
@@ -110,7 +132,8 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 				sp.Set("fallbacks", len(repl))
 				if res.LedgerRec != nil {
 					for oldID, nb := range repl {
-						res.LedgerRec.Recovery(oldSeller[oldID], nb.SellerID, nb.OfferID)
+						res.LedgerRec.Recovery(oldSeller[oldID], nb.SellerID, nb.OfferID,
+							tc.reasonFor(oldSeller[oldID]))
 					}
 				}
 				for _, nb := range repl {
@@ -136,8 +159,14 @@ func OptimizeAndExecute(cfg Config, comm Comm, localExec *exec.Executor, sql str
 			// with the same plan cannot help.
 			return nil, nil, attempt, err
 		}
-		for id := range tc.failed {
+		for id, ferr := range tc.failed {
 			excluded[id] = true
+			// A drain rejection at fetch time is membership news, not a
+			// fault: record it so the re-optimization's health gate skips
+			// the peer instead of rediscovering the drain per call.
+			if trading.FailureReason(ferr) == "drain" {
+				cfg.Directory.MarkState(id, trading.StateDraining)
+			}
 		}
 	}
 	return nil, nil, maxRetries + 1, fmt.Errorf("core: recovery exhausted after %d retries: %w", maxRetries, lastErr)

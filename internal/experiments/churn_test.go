@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestF17ChurnSmoke is the fixed-seed elastic-churn smoke test. The hard
+// acceptance bar rides here: across steady state, a churn window (join,
+// drain, crash — all mid-run) and the recovery window, not one query may
+// fail. Latency assertions stay loose (wall-clock belongs to the benchmark
+// and full_results); membership columns are exact because the churn script
+// is deterministic.
+func TestF17ChurnSmoke(t *testing.T) {
+	tab := F17Churn(4, 3, 6, 7)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (steady/churn/recovered):\n%v", len(tab.Rows), tab.Rows)
+	}
+	col := func(name string) int {
+		for i, h := range tab.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	num := func(row []string, name string) float64 {
+		v, err := strconv.ParseFloat(row[col(name)], 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows {
+		if f := row[col("failed")]; f != "0" {
+			t.Fatalf("phase %q failed %s queries, want 0 — elastic churn must be invisible to clients\n%v",
+				row[0], f, tab.Rows)
+		}
+		if qps := num(row, "qps"); qps <= 0 {
+			t.Fatalf("qps %v not positive\n%v", qps, row)
+		}
+		p50, p95 := num(row, "p50_ms"), num(row, "p95_ms")
+		if p50 <= 0 || p95 < p50 {
+			t.Fatalf("latency percentiles out of order (p50=%v p95=%v)\n%v", p50, p95, row)
+		}
+	}
+	want := [][3]string{ // members, draining, crashed per phase
+		{"4", "0", "0"}, {"5", "1", "1"}, {"5", "1", "1"},
+	}
+	for i, row := range tab.Rows {
+		got := [3]string{row[col("members")], row[col("draining")], row[col("crashed")]}
+		if got != want[i] {
+			t.Fatalf("phase %q membership = %v, want %v", row[0], got, want[i])
+		}
+	}
+}
+
+// TestF17FedRejectsTinyFederations pins the guard that keeps the crash and
+// drain victims from ever co-holding a fragment's only two replicas.
+func TestF17FedRejectsTinyFederations(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("f17Fed(3, ...) must panic: with <4 sellers the victims could co-hold a fragment")
+		}
+	}()
+	f17Fed(3, 1)
+}

@@ -706,6 +706,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5}, 4, seed) }},
 		{"F15", func() *Table { return F15Throughput([]int{4, 8}, f15Clients, 4, seed) }},
 		{"F16", func() *Table { return F16Calibration(6, seed) }},
+		{"F17", func() *Table { return F17Churn(4, 3, 6, seed) }},
 	}
 }
 
@@ -730,6 +731,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F14", func() *Table { return F14TraceOverhead([]int{3, 5, 7}, 40, seed) }},
 		{"F15", func() *Table { return F15Throughput([]int{8, 16}, f15Clients, 12, seed) }},
 		{"F16", func() *Table { return F16Calibration(20, seed) }},
+		{"F17", func() *Table { return F17Churn(8, 4, 12, seed) }},
 	}
 }
 

@@ -167,7 +167,7 @@ func TestQuickSuiteAndPrint(t *testing.T) {
 		t.Skip("full quick suite in short mode")
 	}
 	tables := Quick(1)
-	if len(tables) != 18 {
+	if len(tables) != 19 {
 		t.Fatalf("tables: %d", len(tables))
 	}
 	var buf bytes.Buffer

@@ -32,6 +32,10 @@ const (
 	KindRecovery  = "recovery"   // delivery failure patched by a standing offer
 	KindPriced    = "priced"     // seller priced one RFB query (cost model, no execution)
 	KindServed    = "served"     // seller executed a purchased answer
+	KindJoin      = "join"       // a node joined the federation
+	KindDrain     = "drain"      // a node began draining (no new RFBs)
+	KindUndrain   = "undrain"    // a drain was cancelled
+	KindLeave     = "leave"      // a node left the federation
 )
 
 // Event is one entry in a negotiation's stream. Fields are populated per
@@ -57,6 +61,7 @@ type Event struct {
 	Pool     int       `json:"pool,omitempty"`   // buyer pool size after the round
 	Queries  int       `json:"queries,omitempty"`
 	Err      string    `json:"err,omitempty"`
+	Reason   string    `json:"reason,omitempty"` // failure class on recovery events (crash/drain/timeout/…)
 }
 
 // Negotiation is one RFB sequence's full event chain, exported as a single
@@ -87,6 +92,7 @@ type Ledger struct {
 	seq   int64
 	negs  []*Rec          // ring, oldest first
 	byRFB map[string]*Rec // every RFBID seen → owning record
+	life  []Event         // membership events (join/drain/undrain/leave), oldest first
 	cal   calibrator
 }
 
@@ -242,12 +248,14 @@ func (r *Rec) Fetch(seller, offerID, sql string, quotedMS, wallMS, sellerMS floa
 
 // Recovery records a delivery failure patched in place: the failed seller's
 // purchase replaced by an equivalent standing offer from another seller.
-func (r *Rec) Recovery(failedSeller, subSeller, offerID string) {
+// reason classifies why the original seller failed ("crash", "drain",
+// "timeout", "breaker", "error", or "" when unknown).
+func (r *Rec) Recovery(failedSeller, subSeller, offerID, reason string) {
 	if r == nil {
 		return
 	}
 	r.append(Event{Kind: KindRecovery, Seller: subSeller, Err: failedSeller,
-		OfferID: offerID})
+		OfferID: offerID, Reason: reason})
 }
 
 // ObservePhase feeds one buyer-side phase latency sample (award loop,
@@ -309,6 +317,35 @@ func (l *Ledger) ObservePhase(p Phase, ms float64) {
 	l.cal.phase(p, ms)
 }
 
+// Lifecycle records a federation membership event (join, drain, undrain,
+// leave) for the named node, outside any negotiation. reason carries
+// operator context ("sigterm", "operator", …) and may be empty. The stream
+// is bounded by the same capacity as the negotiation ring. Nil-safe.
+func (l *Ledger) Lifecycle(kind, node, reason string) {
+	if l == nil {
+		return
+	}
+	e := Event{Kind: kind, Seller: node, Reason: reason, At: time.Now()}
+	e.Seq = l.nextSeq()
+	l.mu.Lock()
+	l.life = append(l.life, e)
+	if len(l.life) > l.cap {
+		l.life = l.life[1:]
+	}
+	l.mu.Unlock()
+}
+
+// LifecycleEvents returns copies of the retained membership events, oldest
+// first. Nil-safe.
+func (l *Ledger) LifecycleEvents() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.life...)
+}
+
 // Len reports how many negotiations the ring currently retains.
 func (l *Ledger) Len() int {
 	if l == nil {
@@ -344,13 +381,18 @@ func (l *Ledger) Negotiations(n int) []Negotiation {
 }
 
 // WriteJSONL exports the last n retained negotiations (all when n <= 0) as
-// one JSON object per line, oldest first.
+// one JSON object per line, oldest first, followed — when any membership
+// events were recorded — by one synthetic "lifecycle" object carrying the
+// join/drain/undrain/leave stream.
 func (l *Ledger) WriteJSONL(w io.Writer, n int) error {
 	enc := json.NewEncoder(w)
 	for _, neg := range l.Negotiations(n) {
 		if err := enc.Encode(neg); err != nil {
 			return err
 		}
+	}
+	if life := l.LifecycleEvents(); len(life) > 0 {
+		return enc.Encode(Negotiation{ID: "lifecycle", Events: life})
 	}
 	return nil
 }

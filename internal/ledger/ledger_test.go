@@ -261,7 +261,7 @@ func TestDisabledLedgerZeroAlloc(t *testing.T) {
 		r.ExecStarted()
 		r.Fetch("s", "o", "sql", 1, 1, 1, 1, 1, "")
 		r.ExecFinished(1, 1, "")
-		r.Recovery("a", "b", "o")
+		r.Recovery("a", "b", "o", "crash")
 		r.ObservePhase(PhaseAward, 1)
 		l.Priced("rfb", "hq", "s", "q0", 1, false, 1)
 		l.Served("rfb", "s", "o", "sql", 1, 1, 1)
@@ -299,5 +299,93 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if total != 8*50 {
 		t.Fatalf("calibration lost executions: %d", total)
+	}
+}
+
+// Membership events: joins, drains, undrains and leaves are recorded in
+// order into a bounded ring, nil-safely, and the JSONL export appends them
+// as one synthetic "lifecycle" negotiation after the real ones.
+func TestLifecycleEvents(t *testing.T) {
+	var nilLedger *Ledger
+	nilLedger.Lifecycle(KindJoin, "n1", "") // must not panic
+	if nilLedger.LifecycleEvents() != nil {
+		t.Fatal("nil ledger has no lifecycle events")
+	}
+
+	l := New(4)
+	if l.LifecycleEvents() != nil {
+		t.Fatal("fresh ledger has no lifecycle events")
+	}
+	oneNegotiation(l)
+	l.Lifecycle(KindJoin, "n9", "")
+	l.Lifecycle(KindDrain, "n4", "elastic scale-down")
+	l.Lifecycle(KindUndrain, "n4", "")
+	l.Lifecycle(KindLeave, "n4", "decommissioned")
+
+	life := l.LifecycleEvents()
+	wantKinds := []string{KindJoin, KindDrain, KindUndrain, KindLeave}
+	if len(life) != len(wantKinds) {
+		t.Fatalf("lifecycle events: %+v", life)
+	}
+	var lastSeq int64
+	for i, e := range life {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d kind %s, want %s", i, e.Kind, wantKinds[i])
+		}
+		if e.At.IsZero() || e.Seq <= lastSeq {
+			t.Fatalf("event %d missing timestamp or ordering: %+v", i, e)
+		}
+		lastSeq = e.Seq
+	}
+	if life[1].Seller != "n4" || life[1].Reason != "elastic scale-down" {
+		t.Fatalf("drain context lost: %+v", life[1])
+	}
+
+	// The ring shares the negotiation capacity: a 5th event evicts the oldest.
+	l.Lifecycle(KindJoin, "n10", "")
+	life = l.LifecycleEvents()
+	if len(life) != 4 || life[0].Kind != KindDrain {
+		t.Fatalf("lifecycle ring must evict oldest-first: %+v", life)
+	}
+
+	var buf strings.Builder
+	if err := l.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want negotiation + lifecycle lines, got %d:\n%s", len(lines), buf.String())
+	}
+	var last Negotiation
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.ID != "lifecycle" || len(last.Events) != 4 {
+		t.Fatalf("lifecycle export line: %+v", last)
+	}
+}
+
+// Recovery events carry the substitution triple plus the failure class, and
+// every recording entry point is nil-safe.
+func TestRecoveryEventAndNilRec(t *testing.T) {
+	var r *Rec
+	r.Recovery("corfu", "myconos", "o1", "crash") // must not panic
+	r.ObservePhase(PhaseFetch, 1)
+
+	l := New(0)
+	rec := oneNegotiation(l)
+	rec.Recovery("corfu", "myconos", "o1", "drain")
+	negs := l.Negotiations(0)
+	var got *Event
+	for i, e := range negs[0].Events {
+		if e.Kind == KindRecovery {
+			got = &negs[0].Events[i]
+		}
+	}
+	if got == nil {
+		t.Fatal("no recovery event recorded")
+	}
+	if got.Err != "corfu" || got.Seller != "myconos" || got.OfferID != "o1" || got.Reason != "drain" {
+		t.Fatalf("recovery event: %+v", got)
 	}
 }

@@ -124,7 +124,11 @@ func (n *Network) chaosBefore(from, to string, reqBytes int) error {
 	if cs.crashed[to] {
 		cs.mu.Unlock()
 		n.accountLost(from, to, reqBytes)
-		return fmt.Errorf("netsim: node %q crashed", to)
+		// Transient and typed: a crashed seller is gone, but the failure
+		// is recoverable at the federation level (an equivalent standing
+		// offer or a replan absorbs it), and recovery audit trails want to
+		// know it was a crash rather than a generic fetch error.
+		return trading.MarkTransient(fmt.Errorf("netsim: node %q crashed: %w", to, trading.ErrPeerCrashed))
 	}
 	seq := cs.nodeSeq[to]
 	cs.nodeSeq[to] = seq + 1
@@ -182,6 +186,59 @@ func (n *Network) chaosAfterAward(to string) {
 		cs.crashes.Add(1)
 	}
 	cs.mu.Unlock()
+}
+
+// chaosRuntime returns the live injector, installing an empty plan first if
+// none is active, so runtime churn primitives (CrashNode/RestartNode) work
+// on an otherwise fault-free network. The install is racy only against a
+// concurrent SetFaultPlan, which replaces runtime state by design.
+func (n *Network) chaosRuntime() *chaosState {
+	cs := n.chaos.Load()
+	if cs == nil {
+		cs = &chaosState{nodeSeq: map[string]uint64{}, crashed: map[string]bool{}}
+		if !n.chaos.CompareAndSwap(nil, cs) {
+			cs = n.chaos.Load()
+		}
+	}
+	return cs
+}
+
+// CrashNode kills a node immediately: every subsequent call to it fails with
+// a transient crashed error until RestartNode. Unlike SetDown this routes
+// through the chaos injector, so the failure is typed, tallied and
+// indistinguishable from a crash-after-award — the churn primitive
+// experiments use to kill a seller mid-negotiation.
+func (n *Network) CrashNode(id string) {
+	cs := n.chaosRuntime()
+	cs.mu.Lock()
+	if !cs.crashed[id] {
+		cs.crashed[id] = true
+		cs.crashes.Add(1)
+	}
+	cs.mu.Unlock()
+}
+
+// RestartNode revives a crashed node: calls reach it again (its service was
+// never unregistered — a restart is the same process image coming back).
+func (n *Network) RestartNode(id string) {
+	cs := n.chaos.Load()
+	if cs == nil {
+		return
+	}
+	cs.mu.Lock()
+	delete(cs.crashed, id)
+	cs.mu.Unlock()
+}
+
+// Crashed reports whether a node is currently crashed.
+func (n *Network) Crashed(id string) bool {
+	cs := n.chaos.Load()
+	if cs == nil {
+		return false
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.crashed[id]
 }
 
 // chaosHash mixes the seed, both endpoints and the per-node call sequence

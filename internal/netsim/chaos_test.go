@@ -170,14 +170,75 @@ func TestChaosCrashAfterAward(t *testing.T) {
 	}
 	if _, err := n.Peer("buyer", "a").RequestBids(rfb()); err == nil {
 		t.Fatal("crashed node must reject")
-	} else if trading.IsTransient(err) {
-		t.Fatalf("a crash is a hard failure, got transient %v", err)
+	} else if !trading.IsTransient(err) {
+		// Transient at the federation level: a replica or a replan can
+		// absorb the crash even though this node is gone for good.
+		t.Fatalf("a crash must be transient (recoverable), got %v", err)
+	} else if !errors.Is(err, trading.ErrPeerCrashed) {
+		t.Fatalf("crash must be typed ErrPeerCrashed for recovery classification, got %v", err)
+	} else if trading.FailureReason(err) != "crash" {
+		t.Fatalf("crash must classify as \"crash\", got %q", trading.FailureReason(err))
 	}
 	if _, err := n.Execute("buyer", "a", trading.ExecReq{SQL: "SELECT 1"}); err == nil {
 		t.Fatal("crashed node must fail execution fetches")
 	}
 	if st := n.ChaosStats(); st.Crashes != 1 {
 		t.Fatalf("chaos stats: %+v", st)
+	}
+}
+
+func TestRuntimeCrashRestart(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	// No fault plan installed: CrashNode must bootstrap the injector.
+	n.CrashNode("a")
+	if !n.Crashed("a") {
+		t.Fatal("node must report crashed")
+	}
+	if _, err := n.Peer("buyer", "a").RequestBids(rfb()); err == nil {
+		t.Fatal("crashed node must reject")
+	} else if !errors.Is(err, trading.ErrPeerCrashed) {
+		t.Fatalf("want typed crash error, got %v", err)
+	}
+	if st := n.ChaosStats(); st.Crashes != 1 {
+		t.Fatalf("chaos stats: %+v", st)
+	}
+	n.RestartNode("a")
+	if n.Crashed("a") {
+		t.Fatal("restarted node must not report crashed")
+	}
+	if _, err := n.Peer("buyer", "a").RequestBids(rfb()); err != nil {
+		t.Fatalf("restarted node must serve again: %v", err)
+	}
+	// Crashing twice tallies once per actual transition.
+	n.CrashNode("a")
+	n.CrashNode("a")
+	if st := n.ChaosStats(); st.Crashes != 2 {
+		t.Fatalf("chaos stats after re-crash: %+v", st)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := New()
+	n.Register("a", &echoService{id: "a"})
+	n.Register("b", &echoService{id: "b"})
+	if got := len(n.Peers("a")); got != 1 {
+		t.Fatalf("want 1 peer, got %d", got)
+	}
+	n.Unregister("b")
+	if got := len(n.Peers("a")); got != 0 {
+		t.Fatalf("unregistered node still in peer view: %d", got)
+	}
+	if _, err := n.Peer("a", "b").RequestBids(rfb()); err == nil {
+		t.Fatal("calls to an unregistered node must fail")
+	}
+	// Re-registration under the same id starts reachable even if the node
+	// was marked down before it left.
+	n.SetDown("b", true)
+	n.Unregister("b")
+	n.Register("b", &echoService{id: "b"})
+	if _, err := n.Peer("a", "b").RequestBids(rfb()); err != nil {
+		t.Fatalf("re-registered node must serve: %v", err)
 	}
 }
 

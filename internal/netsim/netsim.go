@@ -79,6 +79,17 @@ func (n *Network) Register(id string, svc Service) {
 	n.nodes[id] = svc
 }
 
+// Unregister detaches a node from the bus (a member that left the
+// federation). Subsequent calls to it fail as unknown, and it disappears
+// from Peers fan-outs. Any lingering down-marking is cleared so a later
+// re-registration under the same id starts reachable.
+func (n *Network) Unregister(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+	delete(n.down, id)
+}
+
 // NodeIDs lists registered nodes, sorted.
 func (n *Network) NodeIDs() []string {
 	n.mu.RLock()

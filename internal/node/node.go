@@ -85,6 +85,14 @@ type Config struct {
 	// re-price only through the strategy module. 0 = 256 entries, negative
 	// disables the cache.
 	PriceCacheSize int
+	// LoadAwarePricing folds the node's live load — executions in flight
+	// plus admitted and queued Depth-0 RFBs, normalized by Workers — into
+	// every asked price (and a large surcharge while draining), so
+	// overloaded or departing sellers price themselves out of new work
+	// instead of winning bids they will serve slowly. This is the
+	// QT-native answer to load balancing: back-pressure through the market
+	// rather than a scheduler.
+	LoadAwarePricing bool
 	// Tracer and Metrics attach observability at construction time; both may
 	// stay nil (the default) for zero-overhead operation, and either can be
 	// swapped later with Node.SetObs.
@@ -114,6 +122,7 @@ type Node struct {
 	subcontracts map[string]*subcontract              // offerID -> assembly
 	flights      map[string]map[string]*flight        // rfbID -> query key
 	active       atomic.Int64                         // executions in flight, for load-aware pricing
+	state        atomic.Int32                         // lifecycle position (trading.NodeState), see lifecycle.go
 	obsv         atomic.Pointer[nodeObs]
 	traceLog     atomic.Pointer[obs.TraceLog]
 	ledg         atomic.Pointer[ledger.Ledger]
@@ -179,6 +188,9 @@ func New(cfg Config) *Node {
 	}
 	if cfg.PriceCacheSize > 0 {
 		n.prices = pricecache.New(cfg.PriceCacheSize)
+	}
+	if cfg.LoadAwarePricing {
+		n.cfg.Strategy = &trading.LoadAware{Inner: n.cfg.Strategy, Load: n.loadFactor}
 	}
 	n.SetObs(cfg.Tracer, cfg.Metrics)
 	return n
@@ -272,6 +284,14 @@ func (n *Node) Load() float64 { return float64(n.active.Load()) }
 // subtree exactly once, because the sampled path bypasses the node's
 // attached tracer.
 func (n *Node) RequestBids(rfb trading.RFB) (trading.BidReply, error) {
+	// Lifecycle gate, checked before the admission gate so a draining node
+	// rejects immediately instead of queueing work it will not do: Draining
+	// refuses new buyer-originated (Depth-0) negotiations, Left refuses
+	// everything. Both surface the typed ErrDraining that buyers skip
+	// without retry burn.
+	if err := n.gateRFB(rfb.Depth); err != nil {
+		return trading.BidReply{}, err
+	}
 	ob := n.obsv.Load()
 	if n.admit != nil && rfb.Depth == 0 {
 		release := n.admitRFB(ob)
@@ -723,6 +743,15 @@ func (n *Node) valuation(execCost float64, rows int64, bytes float64, coverage f
 // bargaining target. A sampled request ships a small improve-bids span back
 // so every protocol round is visible in the buyer's trace.
 func (n *Node) ImproveBids(req trading.ImproveReq) (trading.BidReply, error) {
+	switch n.State() {
+	case trading.StateLeft:
+		return trading.BidReply{}, n.drainErr("improve-bids")
+	case trading.StateDraining:
+		// A draining seller stops competing: its standing offers stay
+		// honored at their current prices, but it submits no improvements
+		// (winning more work would delay the drain).
+		return trading.BidReply{}, nil
+	}
 	var sp *obs.Span
 	if req.Trace.Sampled {
 		sp = obs.NewTracer().Start(n.cfg.ID, "improve-bids")
@@ -773,6 +802,9 @@ func (n *Node) improveOffers(req trading.ImproveReq) []trading.Offer {
 // Award records a win (and implies losses for the node's competing offers on
 // the same query), feeding strategy adaptation.
 func (n *Node) Award(aw trading.Award) error {
+	if n.State() == trading.StateLeft {
+		return n.drainErr("award")
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	m := n.standing[aw.RFBID]
@@ -816,6 +848,12 @@ func (n *Node) EndNegotiation(rfbID string, wonOfferIDs map[string]bool) {
 // execution span subtree (including subcontract fetch spans) back on the
 // response.
 func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
+	// Draining nodes still deliver: every purchased answer is in-flight work
+	// the drain must finish. Only a node that has Left refuses, and the
+	// rejection is transient so recovery substitutes an equivalent offer.
+	if n.State() == trading.StateLeft {
+		return trading.ExecResp{}, n.drainErr("execute")
+	}
 	n.active.Add(1)
 	defer n.active.Add(-1)
 	ob := n.obsv.Load()

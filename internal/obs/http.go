@@ -8,6 +8,8 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -203,9 +205,31 @@ type Endpoint struct {
 	Handler http.Handler
 }
 
+// HealthEndpoint builds a /healthz Endpoint from a status provider: each
+// request JSON-encodes status() (drain state, admission queue depth, breaker
+// summary — whatever the process knows about itself). When status reports a
+// field "ready": false the response is 503, so load balancers and readiness
+// probes can gate on the HTTP code alone.
+func HealthEndpoint(status func() any) Endpoint {
+	return Endpoint{Path: "/healthz", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		body, err := json.Marshal(status())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if bytes.Contains(body, []byte(`"ready":false`)) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = w.Write(body)
+	})}
+}
+
 // Handler mounts the exposition surface on a fresh mux: /metrics (when m is
 // non-nil), /trace/last (when tl is non-nil), /debug/pprof/*, plus any
-// extra endpoints (skipping nil handlers).
+// extra endpoints (skipping nil handlers). Unless an extra endpoint claims
+// /healthz itself, a default liveness probe answering {"ready":true} is
+// mounted there, so every exposition surface is pollable for readiness.
 func Handler(m *Metrics, tl *TraceLog, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	if m != nil {
@@ -214,10 +238,18 @@ func Handler(m *Metrics, tl *TraceLog, extra ...Endpoint) http.Handler {
 	if tl != nil {
 		mux.Handle("/trace/last", tl)
 	}
+	healthMounted := false
 	for _, e := range extra {
 		if e.Handler != nil {
 			mux.Handle(e.Path, e.Handler)
+			if e.Path == "/healthz" {
+				healthMounted = true
+			}
 		}
+	}
+	if !healthMounted {
+		h := HealthEndpoint(func() any { return map[string]any{"ready": true} })
+		mux.Handle(h.Path, h.Handler)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -330,4 +331,60 @@ func TestSnapshotDeterministic(t *testing.T) {
 	if prom1.String() != prom2.String() {
 		t.Fatal("prometheus output depends on registration order")
 	}
+}
+
+// /healthz is the readiness surface: the default mount answers
+// {"ready":true} with 200, a custom status provider overrides the default,
+// and a body reporting "ready":false flips the HTTP code to 503 so probes
+// can gate on status alone.
+func TestHealthEndpoint(t *testing.T) {
+	// Default mount: no extra endpoint claims /healthz.
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("default /healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// A status provider overrides the default and controls the code.
+	ready := true
+	srv2 := httptest.NewServer(Handler(nil, nil, HealthEndpoint(func() any {
+		return map[string]any{"id": "corfu", "state": "active", "ready": ready}
+	})))
+	defer srv2.Close()
+	resp, err = http.Get(srv2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"id":"corfu"`) {
+		t.Fatalf("custom /healthz: %d %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type: %q", ct)
+	}
+
+	ready = false
+	resp, err = http.Get(srv2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, `"ready":false`) {
+		t.Fatalf("draining /healthz must be 503: %d %q", resp.StatusCode, body)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

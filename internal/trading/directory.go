@@ -1,0 +1,185 @@
+package trading
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the federation's membership view: a per-peer lifecycle state
+// machine plus a directory that resolves which peers a negotiation should
+// even talk to. The lifecycle mirrors the node side (a node announces it is
+// draining by rejecting new RFBs with ErrDraining); the directory is the
+// buyer-side cache of those announcements, folded together with breaker
+// state and last-seen time into one health-gated peer view. Autonomy cuts
+// both ways: nodes join and leave on their own schedule, and buyers must
+// keep trading through the churn without hanging on peers that told them
+// "not now".
+
+// NodeState is a federation member's lifecycle position.
+type NodeState int
+
+// The lifecycle states. A node moves Active → Draining when it wants out
+// (finishing in-flight work, accepting nothing new), Draining → Left once
+// quiesced, and Draining → Active if the drain is cancelled. Left is
+// terminal for a node identity; rejoining is a fresh AddNode.
+const (
+	StateActive NodeState = iota
+	StateDraining
+	StateLeft
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateDraining:
+		return "draining"
+	case StateLeft:
+		return "left"
+	default:
+		return "active"
+	}
+}
+
+// PeerHealth is one directory entry's exported view.
+type PeerHealth struct {
+	ID       string    `json:"id"`
+	State    string    `json:"state"`
+	Breaker  string    `json:"breaker,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+}
+
+type dirEntry struct {
+	state NodeState
+	seen  time.Time
+}
+
+// Directory tracks every known peer's lifecycle state and last successful
+// contact, and — combined with the breaker registry — answers the question a
+// buyer asks at the top of every negotiation: which peers are worth sending
+// an RFB to right now? All methods are safe for concurrent use and nil-safe,
+// so an ungated federation (nil directory) behaves exactly as before.
+type Directory struct {
+	// Breakers, when set, folds circuit state into Eligible and Snapshot:
+	// a peer with an open breaker is as unreachable as a draining one.
+	Breakers *BreakerSet
+
+	now func() time.Time // injectable clock for tests; nil = time.Now
+
+	mu    sync.RWMutex
+	peers map[string]*dirEntry
+}
+
+// NewDirectory returns an empty directory sharing the given breaker registry
+// (which may be nil).
+func NewDirectory(breakers *BreakerSet) *Directory {
+	return &Directory{Breakers: breakers, peers: map[string]*dirEntry{}}
+}
+
+func (d *Directory) clock() time.Time {
+	if d.now != nil {
+		return d.now()
+	}
+	return time.Now()
+}
+
+func (d *Directory) entry(id string) *dirEntry {
+	e := d.peers[id]
+	if e == nil {
+		e = &dirEntry{state: StateActive}
+		d.peers[id] = e
+	}
+	return e
+}
+
+// MarkState records a peer's lifecycle state (e.g. on AddNode, on a drain
+// command, or when a call came back ErrDraining). Nil-safe.
+func (d *Directory) MarkState(id string, s NodeState) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entry(id).state = s
+}
+
+// Seen records a successful contact with a peer, marking it Active again if
+// it had been observed draining (a node that answers new RFBs has undrained).
+// Nil-safe.
+func (d *Directory) Seen(id string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.entry(id)
+	e.seen = d.clock()
+	if e.state == StateDraining {
+		e.state = StateActive
+	}
+}
+
+// Forget drops a peer from the directory entirely (RemoveNode). Nil-safe.
+func (d *Directory) Forget(id string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.peers, id)
+}
+
+// State reports a peer's recorded lifecycle state; unknown peers are Active
+// (the directory is an exclusion list, not an allow list — a peer nobody has
+// complained about is worth an RFB). Nil-safe.
+func (d *Directory) State(id string) NodeState {
+	if d == nil {
+		return StateActive
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if e := d.peers[id]; e != nil {
+		return e.state
+	}
+	return StateActive
+}
+
+// Eligible reports whether a negotiation should fan out to the peer: its
+// lifecycle state is Active and its breaker (if tracked) is not open. This
+// is the health gate buyers apply before spending a round-trip. Nil-safe: a
+// nil directory gates nothing.
+func (d *Directory) Eligible(id string) bool {
+	if d == nil {
+		return true
+	}
+	if d.State(id) != StateActive {
+		return false
+	}
+	if d.Breakers != nil {
+		if b := d.Breakers.For(id); b.State() == BreakerOpen {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns every tracked peer's health, sorted by id, for /healthz
+// and operator tooling. Nil-safe.
+func (d *Directory) Snapshot() []PeerHealth {
+	if d == nil {
+		return nil
+	}
+	d.mu.RLock()
+	out := make([]PeerHealth, 0, len(d.peers))
+	for id, e := range d.peers {
+		out = append(out, PeerHealth{ID: id, State: e.state.String(), LastSeen: e.seen})
+	}
+	d.mu.RUnlock()
+	if d.Breakers != nil {
+		states := d.Breakers.States()
+		for i := range out {
+			out[i].Breaker = states[out[i].ID]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

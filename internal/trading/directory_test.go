@@ -1,0 +1,112 @@
+package trading
+
+import (
+	"testing"
+	"time"
+)
+
+// The directory is an exclusion list: a peer nobody has complained about is
+// Active and worth an RFB; marked states gate it; a successful contact
+// un-drains it.
+func TestDirectoryStateMachine(t *testing.T) {
+	d := NewDirectory(nil)
+	if d.State("n1") != StateActive || !d.Eligible("n1") {
+		t.Fatal("unknown peers must default to Active and eligible")
+	}
+
+	d.MarkState("n1", StateDraining)
+	if d.State("n1") != StateDraining || d.Eligible("n1") {
+		t.Fatal("a draining peer must be excluded from fan-out")
+	}
+
+	// Answering a new call proves the drain was cancelled.
+	d.Seen("n1")
+	if d.State("n1") != StateActive || !d.Eligible("n1") {
+		t.Fatal("Seen must un-drain a draining peer")
+	}
+
+	// Left is not undone by Seen: departure is announced, not inferred.
+	d.MarkState("n2", StateLeft)
+	d.Seen("n2")
+	if d.State("n2") != StateLeft || d.Eligible("n2") {
+		t.Fatal("Seen must not resurrect a left peer")
+	}
+
+	d.Forget("n2")
+	if d.State("n2") != StateActive || !d.Eligible("n2") {
+		t.Fatal("a forgotten peer is a stranger again: Active by default")
+	}
+}
+
+// An open breaker makes a peer as ineligible as a drain mark, and the
+// half-open probe window restores eligibility.
+func TestDirectoryFoldsBreakerState(t *testing.T) {
+	bs := NewBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Hour}, nil)
+	d := NewDirectory(bs)
+
+	if !d.Eligible("n1") {
+		t.Fatal("closed breaker, active peer: eligible")
+	}
+	b := bs.For("n1")
+	b.OnFailure()
+	if !d.Eligible("n1") {
+		t.Fatal("one failure must not gate the peer yet")
+	}
+	b.OnFailure()
+	if d.Eligible("n1") {
+		t.Fatal("an open breaker must gate the peer")
+	}
+	if d.State("n1") != StateActive {
+		t.Fatal("breaker state must not leak into lifecycle state")
+	}
+
+	snap := d.Snapshot()
+	// n1 has no directory entry yet (only a breaker); Seen creates one so the
+	// snapshot can join lifecycle and breaker views.
+	if len(snap) != 0 {
+		t.Fatalf("snapshot before any directory contact: %+v", snap)
+	}
+	d.Seen("n1")
+	snap = d.Snapshot()
+	if len(snap) != 1 || snap[0].ID != "n1" || snap[0].Breaker != "open" ||
+		snap[0].State != "active" || snap[0].LastSeen.IsZero() {
+		t.Fatalf("joined snapshot: %+v", snap)
+	}
+}
+
+// Snapshot is sorted by peer id and carries each entry's lifecycle state.
+func TestDirectorySnapshotSorted(t *testing.T) {
+	d := NewDirectory(nil)
+	d.MarkState("zeta", StateDraining)
+	d.MarkState("alpha", StateActive)
+	d.MarkState("mid", StateLeft)
+	snap := d.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size: %+v", snap)
+	}
+	wantIDs := []string{"alpha", "mid", "zeta"}
+	wantStates := []string{"active", "left", "draining"}
+	for i := range snap {
+		if snap[i].ID != wantIDs[i] || snap[i].State != wantStates[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %s/%s", i, snap[i], wantIDs[i], wantStates[i])
+		}
+	}
+}
+
+// A nil directory gates nothing — the ungated federation keeps its exact
+// pre-directory behaviour.
+func TestDirectoryNilSafety(t *testing.T) {
+	var d *Directory
+	d.MarkState("n1", StateDraining)
+	d.Seen("n1")
+	d.Forget("n1")
+	if d.State("n1") != StateActive {
+		t.Fatal("nil directory must report Active")
+	}
+	if !d.Eligible("n1") {
+		t.Fatal("nil directory must gate nothing")
+	}
+	if d.Snapshot() != nil {
+		t.Fatal("nil directory snapshot must be nil")
+	}
+}

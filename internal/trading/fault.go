@@ -3,6 +3,7 @@ package trading
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +24,48 @@ var ErrCallTimeout = errors.New("trading: call timed out")
 // ErrBreakerOpen marks a call rejected because the peer's circuit breaker is
 // open (the peer failed repeatedly and its cooldown has not elapsed).
 var ErrBreakerOpen = errors.New("trading: circuit breaker open")
+
+// ErrDraining marks a call rejected because the peer is draining out of the
+// federation: it finishes in-flight work but accepts no new negotiations.
+// Like an open breaker it is not worth retrying — the node will not change
+// its mind within a negotiation round — but it is transient in the fleet
+// sense: the peer is healthy and may return (or a replica can serve instead).
+var ErrDraining = errors.New("trading: node draining")
+
+// ErrPeerCrashed marks a peer that went down mid-negotiation (e.g. between
+// an award and the execution fetch). The crash is transient from the buyer's
+// perspective: an equivalent standing offer or a re-optimization can absorb
+// it even though this peer is gone.
+var ErrPeerCrashed = errors.New("trading: peer crashed")
+
+// FailureReason classifies a failed peer call for recovery audit trails:
+// "drain", "crash", "timeout", "breaker", or "error" for anything else.
+// Typed sentinels are preferred; string sniffing keeps the classification
+// working across net/rpc boundaries that flatten errors to text.
+func FailureReason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDraining):
+		return "drain"
+	case errors.Is(err, ErrPeerCrashed):
+		return "crash"
+	case errors.Is(err, ErrCallTimeout):
+		return "timeout"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker"
+	}
+	switch msg := err.Error(); {
+	case strings.Contains(msg, "draining"):
+		return "drain"
+	case strings.Contains(msg, "crashed"):
+		return "crash"
+	case strings.Contains(msg, "timed out"):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
 
 // transientErr wraps an error that is worth retrying (dropped message,
 // timeout, flapping node). Hard failures — unknown nodes, crashed sellers,
@@ -244,6 +287,26 @@ func (s *BreakerSet) For(id string) *Breaker {
 	return b
 }
 
+// States reports every registered peer breaker's position ("closed",
+// "half-open", "open") keyed by peer id, for health exposition. Nil-safe: a
+// nil set reports nothing.
+func (s *BreakerSet) States() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	snap := make(map[string]*Breaker, len(s.breakers))
+	for id, b := range s.breakers {
+		snap[id] = b
+	}
+	s.mu.Unlock()
+	out := make(map[string]string, len(snap))
+	for id, b := range snap {
+		out[id] = b.State().String()
+	}
+	return out
+}
+
 // FaultPolicy bounds every guarded peer call: a per-call timeout, bounded
 // retry-with-backoff for transient errors, a per-peer circuit breaker check,
 // and a per-round deadline for the negotiation fan-out (stragglers are cut
@@ -264,7 +327,7 @@ type FaultPolicy struct {
 	Breakers *BreakerSet
 	// Metrics, when set, receives the policy counters: fault.call_timeouts,
 	// fault.retries, fault.stragglers, fault.breaker_rejects,
-	// fault.rounds_deadline_cut.
+	// fault.rounds_deadline_cut, fault.drain_rejects.
 	Metrics *obs.Metrics
 
 	once sync.Once
@@ -277,6 +340,7 @@ type faultInst struct {
 	stragglers     *obs.Counter
 	breakerRejects *obs.Counter
 	roundCuts      *obs.Counter
+	drainRejects   *obs.Counter
 }
 
 // obs resolves the policy's instruments once (all nil-safe).
@@ -288,6 +352,7 @@ func (p *FaultPolicy) obs() *faultInst {
 			stragglers:     p.Metrics.Counter("fault.stragglers"),
 			breakerRejects: p.Metrics.Counter("fault.breaker_rejects"),
 			roundCuts:      p.Metrics.Counter("fault.rounds_deadline_cut"),
+			drainRejects:   p.Metrics.Counter("fault.drain_rejects"),
 		}
 	})
 	return &p.inst
@@ -322,6 +387,16 @@ func guard[T any](p *FaultPolicy, id string, fn func() (T, error)) (T, error) {
 		if err == nil {
 			br.OnSuccess()
 			return out, nil
+		}
+		if FailureReason(err) == "drain" {
+			// A draining peer answered deliberately: it is healthy, just
+			// leaving. Retries cannot change its mind and the breaker must
+			// not open (the node may undrain), so skip it immediately —
+			// the same no-retry-burn shape as an open breaker. Classified
+			// via FailureReason rather than errors.Is so drain rejects
+			// flattened to text by net/rpc take the same short-circuit.
+			p.obs().drainRejects.Inc()
+			return zero, err
 		}
 		br.OnFailure()
 		if attempt >= p.MaxRetries || !IsTransient(err) {

@@ -34,6 +34,7 @@ package qtrade
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"qtrade/internal/catalog"
 	"qtrade/internal/core"
@@ -188,6 +189,15 @@ func WithPriceCache(size int) NodeOption {
 	return func(c *node.Config) { c.PriceCacheSize = size }
 }
 
+// WithLoadAwarePricing folds the node's live load — executions in flight
+// plus admitted and queued RFBs, normalized by its pricing workers — into
+// every asked price, plus a large surcharge while draining. Overloaded or
+// departing sellers price themselves out of new work, so load balances
+// through the market itself instead of an external scheduler.
+func WithLoadAwarePricing() NodeOption {
+	return func(c *node.Config) { c.LoadAwarePricing = true }
+}
+
 // Federation is a simulated federation of autonomous nodes connected by an
 // in-process network with full message accounting. A federation is safe for
 // concurrent use: any number of goroutines may run Optimize/Query/
@@ -199,7 +209,8 @@ type Federation struct {
 	nodes   map[string]*Node
 	metrics *obs.Metrics
 	faults  *trading.FaultPolicy
-	ledger  *ledger.Ledger // nil unless WithLedger; immutable after creation
+	ledger  *ledger.Ledger     // nil unless WithLedger; immutable after creation
+	dir     *trading.Directory // health-gated peer view; immutable after creation
 }
 
 // NewFederation creates an empty federation over the schema.
@@ -209,6 +220,7 @@ func NewFederation(s *Schema, opts ...FederationOption) *Federation {
 		net:     netsim.New(),
 		nodes:   map[string]*Node{},
 		metrics: obs.NewMetrics(),
+		dir:     trading.NewDirectory(nil),
 	}
 	for _, o := range opts {
 		o(f)
@@ -222,7 +234,10 @@ type Node struct {
 	fed   *Federation
 }
 
-// AddNode creates and registers a node.
+// AddNode creates and registers a node. It is safe at runtime: a node added
+// while queries are in flight joins the current fault policy, appears in the
+// peer directory as Active, and is negotiable from the next optimization
+// that resolves its peer view.
 func (f *Federation) AddNode(id string, opts ...NodeOption) (*Node, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -237,6 +252,8 @@ func (f *Federation) AddNode(id string, opts ...NodeOption) (*Node, error) {
 	n.inner.SetLedger(f.ledger)
 	f.nodes[id] = n
 	f.net.Register(id, n.inner)
+	f.dir.MarkState(id, trading.StateActive)
+	f.ledger.Lifecycle(ledger.KindJoin, id, "")
 	return n, nil
 }
 
@@ -393,7 +410,7 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
 	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics,
-		Faults: faults, Ledger: f.ledger}
+		Faults: faults, Ledger: f.ledger, Directory: f.dir}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -513,7 +530,7 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
 	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics,
-		Faults: faults, Ledger: f.ledger}
+		Faults: faults, Ledger: f.ledger, Directory: f.dir}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -543,6 +560,112 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 	}
 	return res, nil
 }
+
+// DrainNode begins a graceful departure: the node refuses new buyer-originated
+// RFBs with a typed rejection that buyers skip without retries, finishes its
+// in-flight negotiations, awards and executions, keeps honoring its standing
+// offers, and stops competing in improvement rounds. The peer directory marks
+// it draining so subsequent optimizations skip it before spending a
+// round-trip. Reversible with UndrainNode; finalized by RemoveNode.
+func (f *Federation) DrainNode(id string) error {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("qtrade: unknown node %q", id)
+	}
+	n.inner.Drain("operator")
+	f.dir.MarkState(id, trading.StateDraining)
+	return nil
+}
+
+// UndrainNode cancels a drain, returning the node to Active in both its own
+// state machine and the peer directory.
+func (f *Federation) UndrainNode(id string) error {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("qtrade: unknown node %q", id)
+	}
+	if !n.inner.Undrain() {
+		return fmt.Errorf("qtrade: node %q is not draining (state %s)", id, n.inner.State())
+	}
+	f.dir.MarkState(id, trading.StateActive)
+	return nil
+}
+
+// RemoveNode takes a node out of the federation for good: its lifecycle
+// moves to Left (revoking every standing offer), it is unregistered from the
+// network, and it disappears from peer views and the directory. For a
+// graceful exit call DrainNode first and give in-flight work time to finish
+// (Federation.QuiesceNode); RemoveNode itself does not wait. Rejoining under
+// the same id is a fresh AddNode.
+func (f *Federation) RemoveNode(id string) error {
+	f.mu.Lock()
+	n, ok := f.nodes[id]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("qtrade: unknown node %q", id)
+	}
+	delete(f.nodes, id)
+	f.mu.Unlock()
+	n.inner.Leave("removed")
+	f.net.Unregister(id)
+	f.dir.Forget(id)
+	return nil
+}
+
+// QuiesceNode waits — up to timeout — for a node's in-flight work (admitted
+// RFBs and running executions) to finish, reporting whether it fully
+// quiesced. Most useful between DrainNode and RemoveNode.
+func (f *Federation) QuiesceNode(id string, timeout time.Duration) bool {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return true
+	}
+	return n.inner.Quiesce(timeout)
+}
+
+// NodeStates reports every member's lifecycle state ("active", "draining").
+func (f *Federation) NodeStates() map[string]string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]string, len(f.nodes))
+	for id, n := range f.nodes {
+		out[id] = n.inner.State().String()
+	}
+	return out
+}
+
+// NodeHealth returns one node's live health snapshot: lifecycle state,
+// admission queue depth, executions in flight, and the per-peer breaker
+// summary of its fault policy.
+func (f *Federation) NodeHealth(id string) (node.Health, error) {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return node.Health{}, fmt.Errorf("qtrade: unknown node %q", id)
+	}
+	return n.inner.Health(), nil
+}
+
+// PeerDirectory returns the buyers' shared health-gated peer view: every
+// tracked peer's lifecycle state, breaker position and last successful
+// contact.
+func (f *Federation) PeerDirectory() []trading.PeerHealth { return f.dir.Snapshot() }
+
+// CrashNode kills a node abruptly mid-whatever-it-was-doing: every call to
+// it fails with a transient crashed error until RestartNode. Unlike
+// SetNodeDown the failure is typed (recovery ledger events classify it
+// "crash") and tallied in ChaosStats — the churn primitive behind F17.
+func (f *Federation) CrashNode(id string) { f.net.CrashNode(id) }
+
+// RestartNode revives a crashed node; peers can reach it again immediately.
+func (f *Federation) RestartNode(id string) { f.net.RestartNode(id) }
 
 // NetworkStats reports total messages and bytes exchanged since the last
 // ResetNetworkStats.

@@ -9,6 +9,11 @@
 #   3. the buyer's live /ledger serves a complete negotiation chain (RFB,
 #      bids, an award, execution with measured actuals) and /calibration
 #      reports per-seller quoted-vs-measured ratios.
+# A churn phase follows: one qtnode is killed outright mid-session (queries
+# against the surviving node must keep succeeding), then restarted (its
+# /healthz must report ready and federation-wide queries must work again),
+# and finally the other node is drained via SIGTERM and must log a graceful
+# shutdown with its standing offers revoked.
 set -eu
 
 dir="$(mktemp -d)"
@@ -36,27 +41,29 @@ echo "== start sellers"
 "$dir/qtnode" -id corfu -listen 127.0.0.1:7101 -office Corfu \
     -obs-addr 127.0.0.1:9101 -peers myconos=127.0.0.1:7102 \
     >"$dir/corfu.log" 2>&1 &
-pids="$pids $!"
+corfu_pid=$!
+pids="$pids $corfu_pid"
 "$dir/qtnode" -id myconos -listen 127.0.0.1:7102 -office Myconos \
     -obs-addr 127.0.0.1:9102 -peers corfu=127.0.0.1:7101 \
     >"$dir/myconos.log" 2>&1 &
-pids="$pids $!"
+myconos_pid=$!
+pids="$pids $myconos_pid"
 
-wait_serving() { # log file
+wait_serving() { # log file, pid
     for _ in $(seq 1 100); do
         grep -q "serving office" "$1" 2>/dev/null && return 0
-        # shellcheck disable=SC2086 # pids is a deliberate word list
-        kill -0 $pids 2>/dev/null || break
+        kill -0 "$2" 2>/dev/null || break
         sleep 0.1
     done
     echo "FAIL: node never came up"; cat "$1"; exit 1
 }
-wait_serving "$dir/corfu.log"
-wait_serving "$dir/myconos.log"
+wait_serving "$dir/corfu.log" "$corfu_pid"
+wait_serving "$dir/myconos.log" "$myconos_pid"
 
 # The serving line proves the RPC listener bound, but not that the kernel
 # accepts connections yet (or that the obs mux is up); retry a real dial
-# against each node's /metrics port before pointing qtsql at the cluster.
+# against each node's /healthz — a 200 means the obs mux is up AND the node
+# reports itself ready — before pointing qtsql at the cluster.
 wait_tcp() { # url
     for _ in $(seq 1 100); do
         curl -fsS -m 2 "$1" >/dev/null 2>&1 && return 0
@@ -64,8 +71,14 @@ wait_tcp() { # url
     done
     echo "FAIL: $1 never accepted a connection"; exit 1
 }
-wait_tcp http://127.0.0.1:9101/metrics
-wait_tcp http://127.0.0.1:9102/metrics
+wait_tcp http://127.0.0.1:9101/healthz
+wait_tcp http://127.0.0.1:9102/healthz
+# Readiness carries the lifecycle state: a freshly started node is active.
+curl -fsS http://127.0.0.1:9101/healthz >"$dir/healthz.corfu"
+for want in '"ready":true' '"state":"active"' '"id":"corfu"'; do
+    grep -q -- "$want" "$dir/healthz.corfu" || {
+        echo "FAIL: /healthz missing $want"; cat "$dir/healthz.corfu"; exit 1; }
+done
 
 echo "== traced query"
 # qtsql reads commands from a fifo so the shell stays alive — with its
@@ -151,5 +164,43 @@ grep -Eq '^node_myconos_rfbs [1-9]' "$dir/metrics.9102" || {
     echo "FAIL: myconos served no RFBs"; cat "$dir/metrics.9102"; exit 1; }
 # pprof rides on the same mux.
 curl -fsS "http://127.0.0.1:9101/debug/pprof/cmdline" >/dev/null
+
+# run_query <log> <connect-spec> <sql>: one non-interactive qtsql session
+# that must answer the query with a row count and no error lines.
+run_query() {
+    printf '%s\n' "$3" '\quit' | "$dir/qtsql" -connect "$2" \
+        -call-timeout 5s >"$1" 2>&1 || {
+        echo "FAIL: qtsql exited non-zero"; cat "$1"; exit 1; }
+    grep -q " rows)" "$1" || {
+        echo "FAIL: query returned no rows"; cat "$1"; exit 1; }
+    grep -q "^error\|^execution error" "$1" && {
+        echo "FAIL: query errored"; cat "$1"; exit 1; }
+    return 0
+}
+
+echo "== churn: kill myconos outright, surviving node keeps answering"
+kill -9 "$myconos_pid" 2>/dev/null || true
+wait "$myconos_pid" 2>/dev/null || true
+run_query "$dir/churn_down.log" corfu=127.0.0.1:7101 \
+    "SELECT c.custname FROM customer c WHERE c.office = 'Corfu'"
+
+echo "== churn: restart myconos, federation-wide queries work again"
+"$dir/qtnode" -id myconos -listen 127.0.0.1:7102 -office Myconos \
+    -obs-addr 127.0.0.1:9102 -peers corfu=127.0.0.1:7101 \
+    >"$dir/myconos2.log" 2>&1 &
+myconos_pid=$!
+pids="$pids $myconos_pid"
+wait_serving "$dir/myconos2.log" "$myconos_pid"
+wait_tcp http://127.0.0.1:9102/healthz
+run_query "$dir/churn_up.log" corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
+    "SELECT c.custname FROM customer c WHERE c.office IN ('Corfu', 'Myconos')"
+
+echo "== churn: SIGTERM drains corfu gracefully"
+kill -TERM "$corfu_pid"
+wait "$corfu_pid" || true
+grep -q '"draining"\|msg=draining' "$dir/corfu.log" || {
+    echo "FAIL: corfu never logged a drain"; cat "$dir/corfu.log"; exit 1; }
+grep -q "standing_offers_revoked" "$dir/corfu.log" || {
+    echo "FAIL: corfu never revoked standing offers"; cat "$dir/corfu.log"; exit 1; }
 
 echo "e2e smoke OK"
