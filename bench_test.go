@@ -259,6 +259,20 @@ func BenchmarkExpF17Churn(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF18Streaming regenerates F18: first-row latency and peak
+// buyer-side buffering of streamed vs materialized delivery as the result
+// grows.
+func BenchmarkExpF18Streaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F18Streaming([]int{400, 3200}, int64(i))
+		lastRowMetric(b, tab, 1, "stream_first_ms")
+		lastRowMetric(b, tab, 4, "mat_total_ms")
+		lastRowMetric(b, tab, 5, "stream_peak_kb")
+		lastRowMetric(b, tab, 6, "mat_peak_kb")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

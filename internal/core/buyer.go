@@ -111,6 +111,14 @@ type Config struct {
 	// assembled offer pool and the chosen plan are byte-identical (replies
 	// are collected positionally and re-sorted).
 	Workers int
+	// FetchBatchRows sets the row-batch granularity of execution-time
+	// fetches. 0 (the default) streams purchased answers in
+	// exec.DefaultBatchSize batches; n > 0 streams in batches of n; a
+	// negative value disables streaming entirely and ships each answer as
+	// one materialized ExecResp (the pre-streaming wire behaviour). The
+	// answer is byte-identical either way — only delivery granularity, peak
+	// memory, and first-row latency change.
+	FetchBatchRows int
 }
 
 // Stats reports what one optimization cost.
@@ -149,6 +157,9 @@ type Result struct {
 	// Workers carries Config.Workers into execution so the remote-leaf
 	// prefetch honours the same fan-out bound as the negotiation.
 	Workers int
+	// FetchBatch carries Config.FetchBatchRows into execution (see there
+	// for the 0 / n / negative semantics).
+	FetchBatch int
 	// LedgerRec is this negotiation's open trading-ledger record (nil when
 	// Config.Ledger was unset), carried into execution so the fetch/execute
 	// actuals land in the same event chain as the bids and awards.
@@ -525,7 +536,8 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 	}
 	sort.Slice(finalPool, func(i, j int) bool { return finalPool[i].OfferID < finalPool[j].OfferID })
 	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool,
-		BuyerID: cfg.ID, TraceCtx: tctx, Workers: cfg.Workers, LedgerRec: rec}, nil
+		BuyerID: cfg.ID, TraceCtx: tctx, Workers: cfg.Workers,
+		FetchBatch: cfg.FetchBatchRows, LedgerRec: rec}, nil
 }
 
 // ExecuteResult runs the winning plan: Remote leaves are fetched from their
@@ -562,6 +574,33 @@ func ExecuteResultTraced(comm Comm, localExec *exec.Executor, res *Result, tr *o
 // issued for its own leaf — message accounting and error attribution stay
 // identical to the serial walk.
 func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Span) (*exec.Result, error) {
+	ex, cleanup := buildPlanExecutor(comm, localExec, res, root)
+	defer cleanup()
+	rec := res.LedgerRec
+	rec.ExecStarted()
+	var execT0 time.Time
+	if rec != nil {
+		execT0 = time.Now()
+	}
+	out, err := ex.Run(res.Candidate.Root)
+	if rec != nil {
+		wall := float64(time.Since(execT0).Microseconds()) / 1000
+		if err != nil {
+			rec.ExecFinished(wall, 0, err.Error())
+		} else {
+			rec.ExecFinished(wall, int64(len(out.Rows)), "")
+		}
+	}
+	return out, err
+}
+
+// buildPlanExecutor assembles the executor that runs a winning plan:
+// res.FetchBatch decides whether Remote leaves stream (the default) or fall
+// back to one-shot materialized fetches, and multi-leaf plans prefetch
+// concurrently under res.Workers either way. The returned cleanup releases
+// prefetched streams the plan walk never consumed (e.g. after a failure in
+// another leaf) and must be called once execution is done.
+func buildPlanExecutor(comm Comm, localExec *exec.Executor, res *Result, root *obs.Span) (*exec.Executor, func()) {
 	ex := &exec.Executor{}
 	if localExec != nil {
 		ex.Store = localExec.Store
@@ -583,6 +622,21 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 				quoted[o.OfferID] = o.Props.TotalTime
 			}
 		}
+	}
+	cleanup := func() {}
+	// plan.Remotes walks the tree in the same pre-order the executor fetches.
+	remotes := plan.Remotes(res.Candidate.Root)
+	if batch := effectiveBatch(res.FetchBatch); batch > 0 {
+		ex.BatchSize = batch
+		openOne := func(nodeID, sql, offerID string) (exec.RowStream, error) {
+			return openRemoteStream(comm, nodeID, sql, offerID, batch,
+				root, traced, res.TraceCtx, rec, quoted[offerID])
+		}
+		ex.FetchStream = openOne
+		if len(remotes) > 1 && res.Workers != 1 {
+			ex.FetchStream, cleanup = prefetchStreams(remotes, res.Workers, openOne)
+		}
+		return ex, cleanup
 	}
 	fetchOne := func(nodeID, sql, offerID string) (*exec.Result, error) {
 		fs := root.Child("fetch " + nodeID)
@@ -616,25 +670,22 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 		return &exec.Result{Cols: cols, Rows: resp.Rows}, nil
 	}
 	ex.Fetch = fetchOne
-	// plan.Remotes walks the tree in the same pre-order the executor fetches.
-	if remotes := plan.Remotes(res.Candidate.Root); len(remotes) > 1 && res.Workers != 1 {
+	if len(remotes) > 1 && res.Workers != 1 {
 		ex.Fetch = prefetchRemotes(remotes, res.Workers, fetchOne)
 	}
-	rec.ExecStarted()
-	var execT0 time.Time
-	if rec != nil {
-		execT0 = time.Now()
+	return ex, cleanup
+}
+
+// effectiveBatch resolves the FetchBatchRows knob: 0 = default streaming
+// batch, negative = streaming off.
+func effectiveBatch(n int) int {
+	switch {
+	case n == 0:
+		return exec.DefaultBatchSize
+	case n < 0:
+		return 0
 	}
-	out, err := ex.Run(res.Candidate.Root)
-	if rec != nil {
-		wall := float64(time.Since(execT0).Microseconds()) / 1000
-		if err != nil {
-			rec.ExecFinished(wall, 0, err.Error())
-		} else {
-			rec.ExecFinished(wall, int64(len(out.Rows)), "")
-		}
-	}
-	return out, err
+	return n
 }
 
 // prefetchRemotes fetches every remote leaf concurrently — at most `workers`

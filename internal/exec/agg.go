@@ -111,6 +111,13 @@ func (ex *Executor) runAggregate(t *plan.Aggregate) ([]value.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	return aggregateRows(t, in)
+}
+
+// aggregateRows evaluates the aggregate over fully materialized input rows,
+// emitting groups in first-seen order. Shared by the streaming cursor
+// (aggregation is a blocking operator) and the materializing reference path.
+func aggregateRows(t *plan.Aggregate, in []value.Row) ([]value.Row, error) {
 	inSchema := t.Input.Schema()
 	groupExprs := make([]expr.Expr, len(t.GroupBy))
 	for i, g := range t.GroupBy {
@@ -159,6 +166,7 @@ func (ex *Executor) runAggregate(t *plan.Aggregate) ([]value.Row, error) {
 		for i, st := range grp.states {
 			var v value.Value
 			if !st.star {
+				var err error
 				v, err = expr.Eval(argExprs[i], r)
 				if err != nil {
 					return nil, err

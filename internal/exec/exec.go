@@ -1,9 +1,14 @@
 // Package exec executes plan trees against a node's local storage and, for
 // Remote nodes, against the sellers a plan purchased answers from. Execution
-// is row-vector at a time: each operator materializes its result, which is
-// ample for the federation sizes the experiments simulate and keeps the
-// engine easy to verify. No execution ever happens during optimization — the
-// trading algorithm prices offers purely from optimizer estimates, and only a
+// is pulled row-batch iteration: every operator is an Open/Next/Close cursor
+// over bounded batches, so the first row surfaces as soon as the pipeline
+// below it produces one, LIMIT stops upstream work instead of truncating a
+// fully built slice, and peak memory is set by the blocking operators (sort,
+// aggregate, join build side) rather than the result size. The pre-streaming
+// recursive materializing evaluator survives as RunMaterialized, the
+// reference that differential tests pin the streamed answers byte-identical
+// against. No execution ever happens during optimization — the trading
+// algorithm prices offers purely from optimizer estimates, and only a
 // finished winning plan reaches this package.
 package exec
 
@@ -31,10 +36,18 @@ type Result struct {
 // to recognize composite subcontracted offers.
 type FetchFunc func(nodeID, sql, offerID string) (*Result, error)
 
-// Executor runs plans against a store, fetching purchased answers via Fetch.
+// Executor runs plans against a store, fetching purchased answers via Fetch
+// (one-shot) or FetchStream (chunked).
 type Executor struct {
 	Store *storage.Store
 	Fetch FetchFunc
+	// FetchStream, when non-nil, takes precedence over Fetch for Remote
+	// nodes: purchased answers arrive batch by batch instead of as one
+	// materialized ExecResp, and closing the plan's cursor early releases
+	// the seller-side cursors.
+	FetchStream StreamFunc
+	// BatchSize bounds cursor batches; 0 means DefaultBatchSize.
+	BatchSize int
 	// Stats, when non-nil, receives per-operator actuals (rows in/out,
 	// elapsed, call counts) during Run — the raw material of EXPLAIN
 	// ANALYZE. Nil (the default) keeps execution on the unwrapped fast path.
@@ -98,8 +111,37 @@ func (s *RunStats) rowsOut(n plan.Node) int64 {
 	return 0
 }
 
-// Run executes the plan and returns its materialized result.
+// Run executes the plan through the streaming cursor pipeline and returns
+// its materialized result. Callers that want the rows incrementally (first
+// row before the last is computed) use Open directly.
 func (ex *Executor) Run(n plan.Node) (*Result, error) {
+	cur, err := ex.Open(n)
+	if err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	for {
+		b, err := cur.Next()
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		if len(b) == 0 {
+			break
+		}
+		rows = append(rows, b...)
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	return &Result{Cols: n.Schema(), Rows: rows}, nil
+}
+
+// RunMaterialized executes the plan with the pre-streaming recursive
+// evaluator that materializes every operator's full result. It is kept as
+// the differential-testing reference: the streaming-vs-materializing tests
+// pin Run's answers byte-identical to it across the sqllogic corpus.
+func (ex *Executor) RunMaterialized(n plan.Node) (*Result, error) {
 	rows, err := ex.run(n)
 	if err != nil {
 		return nil, err
@@ -418,6 +460,15 @@ func (ex *Executor) runSort(t *plan.Sort) ([]value.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	return sortRows(t, in)
+}
+
+// sortRows stably orders fully materialized rows by the sort keys, shared by
+// the streaming cursor (sort is a blocking operator) and the materializing
+// reference path. Key-evaluation and comparison failures propagate out: an
+// incomparable pair silently treated as equal would make the comparator
+// inconsistent and the output order undefined.
+func sortRows(t *plan.Sort, in []value.Row) ([]value.Row, error) {
 	keys := make([]expr.Expr, len(t.Keys))
 	for i, k := range t.Keys {
 		b, err := bindClone(k.Expr, t.Input.Schema())
@@ -444,9 +495,16 @@ func (ex *Executor) runSort(t *plan.Sort) ([]value.Row, error) {
 	}
 	var sortErr error
 	sort.SliceStable(items, func(i, j int) bool {
+		if sortErr != nil {
+			return false
+		}
 		for k := range keys {
 			a, b := items[i].keys[k], items[j].keys[k]
-			c := compareForSort(a, b)
+			c, err := compareForSort(a, b)
+			if err != nil {
+				sortErr = err
+				return false
+			}
 			if t.Keys[k].Desc {
 				c = -c
 			}
@@ -466,18 +524,23 @@ func (ex *Executor) runSort(t *plan.Sort) ([]value.Row, error) {
 	return out, nil
 }
 
-// compareForSort orders values with NULLs first (ascending).
-func compareForSort(a, b value.Value) int {
+// compareForSort orders values with NULLs first (ascending). Values
+// value.Compare refuses to order (invalid or unknown kinds, e.g. from a
+// corrupted remote answer) are an error, not a silent tie.
+func compareForSort(a, b value.Value) (int, error) {
 	switch {
 	case a.IsNull() && b.IsNull():
-		return 0
+		return 0, nil
 	case a.IsNull():
-		return -1
+		return -1, nil
 	case b.IsNull():
-		return 1
+		return 1, nil
 	}
-	c, _ := value.Compare(a, b)
-	return c
+	c, ok := value.Compare(a, b)
+	if !ok {
+		return 0, fmt.Errorf("exec: sort key values %s and %s are not comparable", a, b)
+	}
+	return c, nil
 }
 
 func distinctRows(in []value.Row) []value.Row {
@@ -495,17 +558,17 @@ func distinctRows(in []value.Row) []value.Row {
 
 func (ex *Executor) runUnion(t *plan.Union) ([]value.Row, error) {
 	var out []value.Row
-	width := -1
-	for _, in := range t.Inputs {
+	// Each input is checked against the union's declared schema, not merely
+	// against its non-empty siblings: drift from one mis-shaped branch fails
+	// here instead of corrupting a downstream operator.
+	want := len(t.Schema())
+	for i, in := range t.Inputs {
 		rows, err := ex.run(in)
 		if err != nil {
 			return nil, err
 		}
-		if width >= 0 && len(rows) > 0 && len(rows[0]) != width {
-			return nil, fmt.Errorf("exec: union inputs have different widths (%d vs %d)", len(rows[0]), width)
-		}
-		if len(rows) > 0 {
-			width = len(rows[0])
+		if want > 0 && len(rows) > 0 && len(rows[0]) != want {
+			return nil, fmt.Errorf("exec: union input %d has width %d, schema declares %d", i, len(rows[0]), want)
 		}
 		out = append(out, rows...)
 	}
@@ -520,8 +583,8 @@ func (ex *Executor) runRemote(t *plan.Remote) ([]value.Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: fetching from %s: %w", t.NodeID, err)
 	}
-	if len(res.Rows) > 0 && len(res.Rows[0]) != len(t.Cols) {
-		return nil, fmt.Errorf("exec: remote %s returned width %d, plan expects %d", t.NodeID, len(res.Rows[0]), len(t.Cols))
+	if err := validateRemote(t, res); err != nil {
+		return nil, err
 	}
 	return res.Rows, nil
 }

@@ -707,6 +707,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F15", func() *Table { return F15Throughput([]int{4, 8}, f15Clients, 4, seed) }},
 		{"F16", func() *Table { return F16Calibration(6, seed) }},
 		{"F17", func() *Table { return F17Churn(4, 3, 6, seed) }},
+		{"F18", func() *Table { return F18Streaming([]int{400, 3200}, seed) }},
 	}
 }
 
@@ -732,6 +733,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F15", func() *Table { return F15Throughput([]int{8, 16}, f15Clients, 12, seed) }},
 		{"F16", func() *Table { return F16Calibration(20, seed) }},
 		{"F17", func() *Table { return F17Churn(8, 4, 12, seed) }},
+		{"F18", func() *Table { return F18Streaming([]int{400, 1600, 6400, 25600}, seed) }},
 	}
 }
 

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func f18Cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("F18 cell [%d][%d] = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// TestF18StreamingSmoke asserts the shape of the streaming claim at CI
+// scale, with loose bounds so scheduler noise cannot flake it:
+//   - both delivery modes return every row (checked inside F18Streaming);
+//   - the streamed first batch lands before the materialized answer
+//     finishes at the largest cardinality;
+//   - first-batch latency is roughly independent of result size;
+//   - streamed peak live memory stays well below the materialized peak,
+//     which must grow with cardinality.
+func TestF18StreamingSmoke(t *testing.T) {
+	tab := F18Streaming([]int{400, 6400}, 1)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("F18 rows: %d", len(tab.Rows))
+	}
+	last := len(tab.Rows) - 1
+	sFirstSmall := f18Cell(t, tab, 0, 1)
+	sFirstLarge := f18Cell(t, tab, last, 1)
+	matTotalLarge := f18Cell(t, tab, last, 4)
+	sPeakLarge := f18Cell(t, tab, last, 5)
+	mPeakSmall := f18Cell(t, tab, 0, 6)
+	mPeakLarge := f18Cell(t, tab, last, 6)
+
+	if sFirstLarge >= matTotalLarge {
+		t.Errorf("first streamed batch (%.2fms) must beat materialized completion (%.2fms) at 6400 rows",
+			sFirstLarge, matTotalLarge)
+	}
+	// 16x the result size may cost at most ~4x the first-batch latency
+	// (generous: the claim is ~flat, the bound only guards regressions that
+	// reintroduce full materialization before the first row).
+	if sFirstLarge > 4*sFirstSmall+1 {
+		t.Errorf("first-batch latency grew with result size: %.2fms at 400 rows, %.2fms at 6400",
+			sFirstSmall, sFirstLarge)
+	}
+	if sPeakLarge >= mPeakLarge {
+		t.Errorf("streamed peak (%.1fkb) must stay below materialized peak (%.1fkb)",
+			sPeakLarge, mPeakLarge)
+	}
+	if mPeakLarge <= mPeakSmall {
+		t.Errorf("materialized peak must grow with result size: %.1fkb -> %.1fkb",
+			mPeakSmall, mPeakLarge)
+	}
+}

@@ -126,6 +126,11 @@ type Node struct {
 	obsv         atomic.Pointer[nodeObs]
 	traceLog     atomic.Pointer[obs.TraceLog]
 	ledg         atomic.Pointer[ledger.Ledger]
+
+	curMu    sync.Mutex               // guards the streamed-execution registry, see stream.go
+	cursors  map[string]*serverCursor // cursor id -> open streamed execution
+	curOrder []string                 // cursor eviction order (oldest first)
+	curSeq   atomic.Int64             // cursor id allocator
 }
 
 // SetTraceLog attaches a trace log that retains the most recent sampled
@@ -846,13 +851,18 @@ func (n *Node) EndNegotiation(rfbID string, wonOfferIDs map[string]bool) {
 // either a (rewritten) query over local fragments or a compensation query
 // over a local materialized view. A sampled request ships the node's
 // execution span subtree (including subcontract fetch spans) back on the
-// response.
+// response. A streaming request (req.Stream) ships the first batch plus a
+// continuation cursor; continuation and close requests (req.Cursor) are
+// routed to the streamed-execution registry in stream.go.
 func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	// Draining nodes still deliver: every purchased answer is in-flight work
 	// the drain must finish. Only a node that has Left refuses, and the
 	// rejection is transient so recovery substitutes an equivalent offer.
 	if n.State() == trading.StateLeft {
 		return trading.ExecResp{}, n.drainErr("execute")
+	}
+	if req.Cursor != "" {
+		return n.continueStream(req)
 	}
 	n.active.Add(1)
 	defer n.active.Add(-1)
@@ -873,7 +883,14 @@ func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	// seller's actual cost behind the quote it bid with, and buyers compare
 	// it against the offer's estimated TotalTime in their trading ledger.
 	t0 := time.Now()
-	resp, err := n.executeInner(req, sp)
+	var resp trading.ExecResp
+	var sc *serverCursor
+	var err error
+	if req.Stream {
+		resp, sc, err = n.executeStreamOpen(req, sp)
+	} else {
+		resp, err = n.executeInner(req, sp)
+	}
 	wall := msSince(t0)
 	if ob != nil {
 		ob.execMS.Observe(wall)
@@ -881,10 +898,15 @@ func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	if err == nil {
 		resp.ExecMS = wall
 		// Purchased answers (OfferID set) land in the seller's own ledger;
-		// recursive union-branch executions carry no offer id and stay quiet.
-		if ldg := n.ledg.Load(); ldg != nil && req.OfferID != "" {
-			ldg.Served(rfbOfOffer(req.OfferID), n.cfg.ID, req.OfferID, req.SQL,
-				wall, int64(len(resp.Rows)), int64(resp.WireSize()))
+		// recursive union-branch executions carry no offer id and stay
+		// quiet. A streamed answer with batches still pending records its
+		// Served event on completion instead (see stream.go), with totals
+		// accumulated across every batch.
+		if sc == nil {
+			if ldg := n.ledg.Load(); ldg != nil && req.OfferID != "" {
+				ldg.Served(rfbOfOffer(req.OfferID), n.cfg.ID, req.OfferID, req.SQL,
+					wall, int64(len(resp.Rows)), int64(resp.WireSize()))
+			}
 		}
 	}
 	if err != nil {
@@ -895,6 +917,17 @@ func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 		payload := sp.Payload()
 		resp.Trace = payload
 		n.traceLog.Load().Record(payload)
+	}
+	if sc != nil && err == nil {
+		// Register only after the response is final: the buyer cannot send a
+		// continuation before seeing this response, so nothing races the
+		// registration, and the cursor seeds its cumulative totals from the
+		// open batch.
+		sc.wall = wall
+		sc.rows = int64(len(resp.Rows))
+		sc.bytes = int64(resp.WireSize())
+		sc.last = resp
+		n.registerCursor(sc)
 	}
 	return resp, err
 }

@@ -185,27 +185,45 @@ func (s *Store) PartIDs(table string) []string {
 // Scan streams a fragment's rows through fn; fn returning false stops the
 // scan. The optional predicate must be bound against the table's columns.
 func (s *Store) Scan(table, partID string, pred expr.Expr, fn func(value.Row) bool) error {
+	_, err := s.ScanFrom(table, partID, pred, 0, fn)
+	return err
+}
+
+// ScanFrom streams a fragment's rows through fn starting at raw row position
+// start (offsets count every stored row, including ones the predicate
+// rejects) and returns the position the scan should resume from. fn
+// returning false stops the scan after that row. Fragments are append-only,
+// so a position handed out by one call stays valid for the next: cursor
+// callers pull one bounded batch per call without the store holding any
+// per-scan state.
+func (s *Store) ScanFrom(table, partID string, pred expr.Expr, start int, fn func(value.Row) bool) (int, error) {
 	s.mu.RLock()
 	f := s.lookup(table, partID)
+	var rows []value.Row
+	if f != nil {
+		rows = f.Rows
+	}
 	s.mu.RUnlock()
 	if f == nil {
-		return fmt.Errorf("storage: no fragment %s/%s", table, partID)
+		return start, fmt.Errorf("storage: no fragment %s/%s", table, partID)
 	}
-	for _, r := range f.Rows {
+	i := start
+	for ; i < len(rows); i++ {
+		r := rows[i]
 		if pred != nil {
 			ok, err := expr.EvalBool(pred, r)
 			if err != nil {
-				return err
+				return i, err
 			}
 			if !ok {
 				continue
 			}
 		}
 		if !fn(r) {
-			return nil
+			return i + 1, nil
 		}
 	}
-	return nil
+	return i, nil
 }
 
 // FragmentStats returns (building lazily) statistics for a fragment. Built

@@ -150,34 +150,71 @@ func (a *Award) WireSize() int { return 24 + len(a.RFBID) + len(a.OfferID) + len
 
 // ExecReq asks a seller to actually evaluate a purchased query and ship the
 // answer. It is the only message that triggers execution.
+//
+// Answers ship whole by default. The streaming fields turn the exchange into
+// a chunked fetch over the same message pair: Stream asks the seller to open
+// a cursor and return at most BatchRows rows plus a continuation token; the
+// buyer then repeats the request with Cursor set and Seq incremented per
+// batch until More goes false, or sends CloseCursor to abandon the rest
+// (early close — LIMIT satisfied, plan failed elsewhere). Seq makes
+// continuation idempotent under the fault policy's retries: a seller
+// re-delivers the batch it already sent for a repeated Seq instead of
+// advancing. Zero values gob-encode identically to the pre-streaming
+// message, so mixed-version federations interoperate.
 type ExecReq struct {
 	BuyerID string
 	OfferID string
 	SQL     string
+	// Stream requests chunked delivery of at most BatchRows rows per
+	// response (0 means the seller's default).
+	Stream    bool
+	BatchRows int
+	// Cursor continues (or, with CloseCursor, releases) a previously opened
+	// seller-side cursor. Seq is the 1-based index of the requested batch.
+	Cursor      string
+	Seq         int64
+	CloseCursor bool
 	// Trace is the buyer's distributed-tracing context (see RFB.Trace).
 	Trace obs.TraceContext
 }
 
 // WireSize estimates the network size of an execution request.
 func (e *ExecReq) WireSize() int {
-	return 24 + len(e.BuyerID) + len(e.OfferID) + len(e.SQL) + e.Trace.WireSize()
+	n := 24 + len(e.BuyerID) + len(e.OfferID) + len(e.SQL) + e.Trace.WireSize()
+	if e.Stream {
+		n += 12 // stream flag + batch hint
+	}
+	if e.Cursor != "" {
+		n += len(e.Cursor) + 12 // token + seq + close flag
+	}
+	return n
 }
 
-// ExecResp carries a shipped query answer and, when the request was sampled,
-// the seller's execution span subtree. ExecMS is the seller's own measured
-// execution wall time in milliseconds — the actual cost behind the quote it
-// bid with, which the buyer's trading ledger compares against the offer's
-// estimated TotalTime for cost-model calibration.
+// ExecResp carries a shipped query answer (or one batch of it) and, when the
+// request was sampled, the seller's execution span subtree. ExecMS is the
+// seller's own measured execution wall time in milliseconds — the actual
+// cost behind the quote it bid with, which the buyer's trading ledger
+// compares against the offer's estimated TotalTime for cost-model
+// calibration; on a streamed answer each batch reports the cumulative wall
+// time so far, so the final batch carries the total.
 type ExecResp struct {
 	Cols   []ColSpec
 	Rows   []value.Row
 	ExecMS float64
+	// Cursor is the continuation token of a streamed answer; More reports
+	// whether batches remain beyond this one. An exhausted-or-unstreamed
+	// answer leaves both zero.
+	Cursor string
+	More   bool
 	Trace  *obs.SpanPayload
 }
 
 // WireSize estimates the network size of a shipped answer.
 func (e *ExecResp) WireSize() int {
 	n := 24 + 24*len(e.Cols) + e.Trace.WireSize()
+	if e.Cursor != "" {
+		n += len(e.Cursor) + 8 // token + more flag
+	}
 	for _, r := range e.Rows {
 		for _, v := range r {
 			switch v.K {

@@ -293,3 +293,21 @@ func TestTruthScoreUsesWeights(t *testing.T) {
 		t.Fatalf("score: %f", TruthScore(w, v))
 	}
 }
+
+func TestStreamingFieldWireSizes(t *testing.T) {
+	base := ExecReq{SQL: "SELECT 1"}
+	stream := ExecReq{SQL: "SELECT 1", Stream: true, BatchRows: 256}
+	if stream.WireSize() <= base.WireSize() {
+		t.Fatal("stream open must cost wire bytes")
+	}
+	cont := ExecReq{OfferID: "o", Cursor: "corfu.c1", Seq: 3}
+	plain := ExecReq{OfferID: "o"}
+	if cont.WireSize() <= plain.WireSize() {
+		t.Fatal("continuation token must cost wire bytes")
+	}
+	resp := ExecResp{Rows: []value.Row{{value.NewInt(1)}}}
+	parked := ExecResp{Rows: []value.Row{{value.NewInt(1)}}, Cursor: "corfu.c1", More: true}
+	if parked.WireSize() <= resp.WireSize() {
+		t.Fatal("continuation reply must cost wire bytes")
+	}
+}
