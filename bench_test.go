@@ -273,6 +273,25 @@ func BenchmarkExpF18Streaming(b *testing.B) {
 	}
 }
 
+// BenchmarkExpF19Flight regenerates F19: the query flight recorder and
+// anomaly watchdog under a mid-run slow seller and a stale-statistics
+// cardinality blowout. Beyond timing it asserts the recorder's hard
+// guarantee — every query of the injected-fault phases lands as a flagged
+// dossier — so the benchmark fails the build if capture ever goes silent.
+func BenchmarkExpF19Flight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.F19Flight(4, int64(i))
+		last := tab.Rows[len(tab.Rows)-1] // stale_stats
+		if last[3] != last[1] || last[4] != last[1] {
+			b.Fatalf("F19 stale_stats: %s queries, %s dossiers, %s flagged — want all equal",
+				last[1], last[3], last[4])
+		}
+		lastRowMetric(b, tab, 2, "stale_wall_ms")
+		lastRowMetric(b, tab, 4, "flagged")
+		discard(tab)
+	}
+}
+
 // BenchmarkOptimizeTelco measures one end-to-end QT optimization of the
 // paper's motivating query on the three-office federation.
 func BenchmarkOptimizeTelco(b *testing.B) {

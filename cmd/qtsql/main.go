@@ -9,10 +9,14 @@
 //	qtsql -connect corfu=localhost:7001,myconos=localhost:7002
 //
 // Commands: EXPLAIN <query>, EXPLAIN ANALYZE <query>, \trace on|off,
-// \trace save <file>, \metrics, \ledger, \calibration, \stats, \nodes,
-// \quit. Every negotiation is audited in a trading ledger: \ledger dumps
-// the retained records as JSONL and \calibration prints the per-seller
-// quoted-vs-measured cost report. In simulation mode
+// \trace save <file>, \metrics, \ledger, \calibration, \slow, \stats,
+// \nodes, \quit. Every negotiation is audited in a trading ledger: \ledger
+// dumps the retained records as JSONL and \calibration prints the
+// per-seller quoted-vs-measured cost report. Every executed query also
+// lands in a flight recorder: \slow [n] lists the slowest retained
+// dossiers (wall time, rows, quoted-vs-measured cost ratio and any trigger
+// flags), and with -obs-addr the full dossiers are served at
+// /debug/queries and /debug/queries/{id}. In simulation mode
 // the federation can be perturbed interactively: \down <node> and
 // \up <node> toggle node failures, \drain <node> and \undrain <node> walk a
 // node through the elastic lifecycle (a draining node refuses new
@@ -36,6 +40,7 @@ import (
 
 	"qtrade/internal/core"
 	"qtrade/internal/exec"
+	"qtrade/internal/flight"
 	"qtrade/internal/ledger"
 	"qtrade/internal/netsim"
 	"qtrade/internal/obs"
@@ -48,9 +53,12 @@ import (
 type session struct {
 	metrics *obs.Metrics
 	ledg    *ledger.Ledger // audits every negotiation; feeds \ledger and /ledger
+	flight  *flight.Recorder
 	tracing bool
 	last    *obs.Tracer   // spans of the most recent traced query
 	tlog    *obs.TraceLog // feeds /trace/last when -obs-addr is set
+	keep    int           // /trace/last ring capacity (-trace-keep)
+	window  time.Duration // /metrics/history rollup window (-history-window)
 
 	// attach/detach point tracing at the federation's seller nodes
 	// (no-ops in remote mode, where sellers live in other processes).
@@ -106,6 +114,30 @@ func (s *session) command(line string) bool {
 			break
 		}
 		fmt.Print(s.ledg.Calibration().Text())
+	case line == `\slow` || strings.HasPrefix(line, `\slow `):
+		n := 10
+		if arg := strings.TrimSpace(strings.TrimPrefix(line, `\slow`)); arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				fmt.Println(`usage: \slow [n]`)
+				break
+			}
+			n = v
+		}
+		ds := s.flight.Slow(n)
+		if len(ds) == 0 {
+			fmt.Println("no queries recorded yet (run one first)")
+			break
+		}
+		for _, d := range ds {
+			flags := ""
+			if len(d.Triggers) > 0 {
+				flags = " [" + strings.Join(d.Triggers, ",") + "]"
+			}
+			fmt.Printf("  %-12s %8.2fms  rows=%-6d cost-ratio=%.2f%s\n",
+				d.ID, d.WallMS, d.Rows, d.CostRatio, flags)
+			fmt.Printf("    %s\n", d.SQL)
+		}
 	default:
 		return false
 	}
@@ -145,21 +177,30 @@ func (s *session) end(tr *obs.Tracer) {
 	fmt.Print(tr.RenderText())
 }
 
-// serveObs starts the HTTP exposition surface when addr is non-empty.
+// serveObs starts the HTTP exposition surface when addr is non-empty: the
+// flight recorder joins at /debug/queries, and a windowed metrics history
+// (with an anomaly watchdog recording into the ledger) at /metrics/history.
 func (s *session) serveObs(addr string) {
 	if addr == "" {
 		return
 	}
-	s.tlog = obs.NewTraceLog()
+	s.tlog = obs.NewTraceLogN(s.keep)
+	hist := obs.NewHistory(s.metrics, s.window, 0)
+	wd := flight.NewWatchdog(flight.WatchdogConfig{}, s.ledg, s.metrics)
+	wd.Attach(hist)
+	hist.Start()
 	go func() {
 		h := obs.Handler(s.metrics, s.tlog,
 			obs.Endpoint{Path: "/ledger", Handler: s.ledg},
-			obs.Endpoint{Path: "/calibration", Handler: s.ledg.CalibrationHandler()})
+			obs.Endpoint{Path: "/calibration", Handler: s.ledg.CalibrationHandler()},
+			obs.Endpoint{Path: "/metrics/history", Handler: hist},
+			obs.Endpoint{Path: "/debug/queries", Handler: s.flight},
+			obs.Endpoint{Path: "/debug/queries/", Handler: s.flight})
 		if err := http.ListenAndServe(addr, h); err != nil {
 			slog.Error("obs server failed", "addr", addr, "err", err)
 		}
 	}()
-	fmt.Printf("serving /metrics, /debug/pprof, /trace/last, /ledger and /calibration on %s\n", addr)
+	fmt.Printf("serving /metrics, /metrics/history, /debug/pprof, /debug/queries, /trace/last, /ledger and /calibration on %s\n", addr)
 }
 
 func main() {
@@ -168,13 +209,15 @@ func main() {
 	connect := flag.String("connect", "", "comma-separated id=addr pairs of qtnode servers; empty = in-process simulation")
 	callTimeout := flag.Duration("call-timeout", 0, "remote mode: bound on dialing and on every RPC to a qtnode (0 = none)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
-	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics, /debug/pprof/*, /trace/last, /ledger and /calibration (empty = no exposition)")
+	obsAddr := flag.String("obs-addr", "", "HTTP address serving /metrics, /metrics/history, /debug/pprof/*, /debug/queries, /trace/last, /ledger and /calibration (empty = no exposition)")
+	traceKeep := flag.Int("trace-keep", 0, "how many sampled traces /trace/last retains (0 = default capacity)")
+	histWindow := flag.Duration("history-window", 0, "rollup window for /metrics/history (0 = default 5s)")
 	flag.Parse()
 
 	setupLogging(*logLevel)
 
 	if *connect != "" {
-		runRemote(*offices, *connect, *callTimeout, *obsAddr)
+		runRemote(*offices, *connect, *callTimeout, *obsAddr, *traceKeep, *histWindow)
 		return
 	}
 
@@ -183,7 +226,8 @@ func main() {
 		CustomersPerOffice: *customers,
 		Seed:               1,
 	})
-	s := &session{metrics: obs.NewMetrics(), ledg: ledger.New(0)}
+	s := &session{metrics: obs.NewMetrics(), ledg: ledger.New(0),
+		flight: flight.NewRecorder(0), keep: *traceKeep, window: *histWindow}
 	s.attach = func(tr *obs.Tracer) { f.SetObs(tr, s.metrics) }
 	s.attach(nil) // metrics-only steady state
 	f.SetLedger(s.ledg)
@@ -191,8 +235,8 @@ func main() {
 	slog.Info("federation ready", "offices", *offices, "customers", *customers)
 	fmt.Printf("query-trading federation: offices %s + buyer hq\n", *offices)
 	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\ledger", "\calibration",`)
-	fmt.Println(`  "\stats", "\nodes", "\down <node>", "\up <node>", "\drain <node>", "\undrain <node>",`)
-	fmt.Println(`  "\chaos <seed> <rate>" or "\quit"`)
+	fmt.Println(`  "\slow [n]", "\stats", "\nodes", "\down <node>", "\up <node>", "\drain <node>",`)
+	fmt.Println(`  "\undrain <node>", "\chaos <seed> <rate>" or "\quit"`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -293,6 +337,7 @@ func main() {
 		cfg.Metrics = s.metrics
 		cfg.Tracer = tr
 		cfg.Ledger = s.ledg
+		cfg.Flight = s.flight
 		res, err := f.Optimize(cfg, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
@@ -364,7 +409,7 @@ func sortedPairs(net *netsim.Network) []pairLine {
 // runRemote drives a federation of qtnode processes over net/rpc. With a
 // positive callTimeout both dialing and every RPC are bounded, so a hung or
 // unreachable qtnode fails fast instead of stalling the shell.
-func runRemote(offices, connect string, callTimeout time.Duration, obsAddr string) {
+func runRemote(offices, connect string, callTimeout time.Duration, obsAddr string, traceKeep int, histWindow time.Duration) {
 	sch := workload.TelcoSchema(strings.Split(offices, ","))
 	peers := map[string]trading.Peer{}
 	rpcPeers := map[string]*netsim.RPCPeer{}
@@ -398,9 +443,11 @@ func runRemote(offices, connect string, callTimeout time.Duration, obsAddr strin
 			return rpcPeers[to].Execute(req)
 		},
 	}
-	s := &session{metrics: obs.NewMetrics(), ledg: ledger.New(0), attach: func(*obs.Tracer) {}}
+	s := &session{metrics: obs.NewMetrics(), ledg: ledger.New(0),
+		flight: flight.NewRecorder(0), keep: traceKeep, window: histWindow,
+		attach: func(*obs.Tracer) {}}
 	s.serveObs(obsAddr)
-	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\ledger", "\calibration" or "\quit"`)
+	fmt.Println(`type SQL, "EXPLAIN [ANALYZE] <sql>", "\trace on", "\metrics", "\ledger", "\calibration", "\slow [n]" or "\quit"`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -424,7 +471,7 @@ func runRemote(offices, connect string, callTimeout time.Duration, obsAddr strin
 		}
 		sql, explainOnly, analyze, tr := s.begin(line)
 		res, err := core.Optimize(core.Config{ID: "qtsql", Schema: sch, Metrics: s.metrics,
-			Tracer: tr, Ledger: s.ledg}, comm, sql)
+			Tracer: tr, Ledger: s.ledg, Flight: s.flight}, comm, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			s.end(tr)

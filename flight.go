@@ -1,0 +1,94 @@
+package qtrade
+
+// Public surface for the query flight recorder and the windowed metrics
+// history: per-query dossiers unifying trace spans, ledger events and
+// per-operator actuals; a sampler rolling the metrics registry into
+// fixed-width windows; and a watchdog comparing each fresh window against a
+// trailing baseline. All three are opt-in; absent, the hot path pays only
+// nil checks.
+
+import (
+	"time"
+
+	"qtrade/internal/flight"
+	"qtrade/internal/ledger"
+	"qtrade/internal/obs"
+)
+
+// WithFlightRecorder attaches a query flight recorder retaining the last
+// capacity dossiers (flight.DefaultCapacity when capacity <= 0) plus a
+// worst-K outlier set captured by trigger rules — latency SLO breach, any
+// recovery event, quoted-vs-measured cost outlier, est/actual cardinality
+// blowout. Every completed Query/QueryWithRecovery/Plan.Run admits one
+// dossier. A federation without a ledger gets a default-capacity one
+// automatically, so dossiers always carry their negotiation's event chain.
+// Tune the rules through FlightRecorder().SetTriggers.
+func WithFlightRecorder(capacity int) FederationOption {
+	return func(f *Federation) {
+		f.flight = flight.NewRecorder(capacity)
+	}
+}
+
+// WithSlowQuerySLO arms the recorder's latency trigger: any query whose
+// wall time (optimize + execute) reaches slo is captured into the outlier
+// set. Implies WithFlightRecorder's defaults when used alone.
+func WithSlowQuerySLO(slo time.Duration) FederationOption {
+	return func(f *Federation) {
+		if f.flight == nil {
+			f.flight = flight.NewRecorder(0)
+		}
+		t := f.flight.Triggers()
+		t.SlowMS = float64(slo.Nanoseconds()) / 1e6
+		f.flight.SetTriggers(t)
+	}
+}
+
+// WithMetricsHistory attaches the windowed metrics history: a sampler
+// goroutine rolls every registered counter, gauge and histogram into
+// fixed-width window deltas (obs.DefaultHistoryWindow / DefaultHistoryKeep
+// when zero), retained in a ring and served as JSON by the handler at
+// MetricsHistory(). An anomaly watchdog rides along, comparing each fresh
+// window against trailing baselines — p95 regressions, recovery spikes,
+// price-cache hit-rate drops, calibration drift — and emitting typed
+// anomaly events into the trading ledger (when one is attached) plus
+// watchdog.* instruments. Stop the sampler with MetricsHistory().Stop().
+func WithMetricsHistory(window time.Duration, keep int) FederationOption {
+	return func(f *Federation) {
+		f.historyWindow, f.historyKeep = window, keep
+		f.wantHistory = true
+	}
+}
+
+// FlightRecorder returns the federation's flight recorder (an http.Handler
+// serving /debug/queries and /debug/queries/{id}), or nil without
+// WithFlightRecorder. Nil is safe to use: every method no-ops.
+func (f *Federation) FlightRecorder() *flight.Recorder { return f.flight }
+
+// SlowQueries returns up to n retained dossiers, slowest first — the
+// outlier set merged with the recent ring. Nil without a recorder.
+func (f *Federation) SlowQueries(n int) []*flight.Dossier { return f.flight.Slow(n) }
+
+// MetricsHistory returns the windowed metrics history (an http.Handler
+// serving the retained windows as JSON), or nil without WithMetricsHistory.
+func (f *Federation) MetricsHistory() *obs.History { return f.history }
+
+// Watchdog returns the anomaly watchdog attached by WithMetricsHistory, or
+// nil. Its Anomalies method lists recent findings; the same events land in
+// the ledger's anomaly stream.
+func (f *Federation) Watchdog() *flight.Watchdog { return f.watchdog }
+
+// finishObsSetup wires the cross-option observability dependencies once all
+// FederationOptions ran, so option order never matters: the flight recorder
+// gets a ledger to snapshot, and the history gets its watchdog before the
+// sampler starts.
+func (f *Federation) finishObsSetup() {
+	if f.flight != nil && f.ledger == nil {
+		f.ledger = ledger.New(0)
+	}
+	if f.wantHistory {
+		f.history = obs.NewHistory(f.metrics, f.historyWindow, f.historyKeep)
+		f.watchdog = flight.NewWatchdog(flight.WatchdogConfig{}, f.ledger, f.metrics)
+		f.watchdog.Attach(f.history)
+		f.history.Start()
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
 	"qtrade/internal/expr"
+	"qtrade/internal/flight"
 	"qtrade/internal/ledger"
 	"qtrade/internal/obs"
 	"qtrade/internal/plan"
@@ -103,6 +104,13 @@ type Config struct {
 	// behind every purchase — and feeds the per-seller quoted-vs-actual
 	// calibration. Nil (the default) adds zero allocations.
 	Ledger *ledger.Ledger
+	// Flight, when set, assembles one flight dossier per completed
+	// execution of this buyer's queries — grafted trace spans, the ledger
+	// event chain, per-operator est-vs-actual rows, quoted-vs-measured cost
+	// — and admits it to the recorder (outliers are kept by its trigger
+	// rules). Executions automatically collect exec.RunStats when set. Nil
+	// (the default) skips dossier assembly entirely.
+	Flight *flight.Recorder
 	// Workers bounds the buyer's own fan-out: the per-round RFB/improve
 	// dispatch of ConcurrencyAware protocols and the execution-time fetch of
 	// remote plan leaves. 0 (the default) means one in-flight call per
@@ -164,6 +172,9 @@ type Result struct {
 	// Config.Ledger was unset), carried into execution so the fetch/execute
 	// actuals land in the same event chain as the bids and awards.
 	LedgerRec *ledger.Rec
+	// flight carries the negotiation's identity into the execution
+	// finalizers that assemble its dossier (nil when Config.Flight unset).
+	flight *flightCapture
 }
 
 var rfbSeq atomic.Int64
@@ -346,6 +357,7 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 			delete(peers, id)
 		}
 	}
+	negID := "" // first RFB id: the negotiation's identity in ledger and dossier
 	var emptyReplies atomic.Int64
 	for id, p := range peers {
 		guarded := cfg.Faults.Wrap(id, p)
@@ -372,6 +384,9 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 			BuyerID: cfg.ID,
 			Trace:   tctx,
 			Queries: queries,
+		}
+		if negID == "" {
+			negID = rfb.RFBID
 		}
 		stats.RFBsSent += len(peers)
 		bo.rfbsSent.Add(int64(len(peers)))
@@ -535,9 +550,14 @@ func Optimize(cfg Config, comm Comm, sql string) (*Result, error) {
 		finalPool = append(finalPool, o)
 	}
 	sort.Slice(finalPool, func(i, j int) bool { return finalPool[i].OfferID < finalPool[j].OfferID })
+	var fc *flightCapture
+	if cfg.Flight != nil {
+		fc = &flightCapture{rec: cfg.Flight, id: negID, start: start,
+			optimizeMS: float64(stats.WallTime.Microseconds()) / 1000, optSpan: root}
+	}
 	return &Result{SQL: sel.SQL(), Candidate: *best, Stats: stats, Pool: finalPool,
 		BuyerID: cfg.ID, TraceCtx: tctx, Workers: cfg.Workers,
-		FetchBatch: cfg.FetchBatchRows, LedgerRec: rec}, nil
+		FetchBatch: cfg.FetchBatchRows, LedgerRec: rec, flight: fc}, nil
 }
 
 // ExecuteResult runs the winning plan: Remote leaves are fetched from their
@@ -579,18 +599,26 @@ func executeUnder(comm Comm, localExec *exec.Executor, res *Result, root *obs.Sp
 	rec := res.LedgerRec
 	rec.ExecStarted()
 	var execT0 time.Time
-	if rec != nil {
+	if rec != nil || res.flight != nil {
 		execT0 = time.Now()
 	}
 	out, err := ex.Run(res.Candidate.Root)
+	var wall float64
+	if rec != nil || res.flight != nil {
+		wall = float64(time.Since(execT0).Microseconds()) / 1000
+	}
+	rows := int64(0)
+	if err == nil {
+		rows = int64(len(out.Rows))
+	}
 	if rec != nil {
-		wall := float64(time.Since(execT0).Microseconds()) / 1000
 		if err != nil {
 			rec.ExecFinished(wall, 0, err.Error())
 		} else {
-			rec.ExecFinished(wall, int64(len(out.Rows)), "")
+			rec.ExecFinished(wall, rows, "")
 		}
 	}
+	finalizeFlight(res, root, ex.Stats, wall, rows, err)
 	return out, err
 }
 
@@ -605,6 +633,11 @@ func buildPlanExecutor(comm Comm, localExec *exec.Executor, res *Result, root *o
 	if localExec != nil {
 		ex.Store = localExec.Store
 		ex.Stats = localExec.Stats
+	}
+	if res.flight != nil && ex.Stats == nil {
+		// The dossier's per-operator est-vs-actual rows need RunStats; the
+		// recorder being on opts the execution in automatically.
+		ex.Stats = exec.NewRunStats()
 	}
 	traced := root != nil && res.TraceCtx.Sampled
 	// With a ledger record open, precompute each purchased offer's quoted

@@ -272,25 +272,30 @@ func ExecuteResultStream(comm Comm, localExec *exec.Executor, res *Result, tr *o
 	cur, err := ex.Open(res.Candidate.Root)
 	if err != nil {
 		cleanup()
+		wall := float64(time.Since(t0).Microseconds()) / 1000
 		if rec != nil {
-			rec.ExecFinished(float64(time.Since(t0).Microseconds())/1000, 0, err.Error())
+			rec.ExecFinished(wall, 0, err.Error())
 		}
 		root.End()
+		finalizeFlight(res, root, ex.Stats, wall, 0, err)
 		return nil, nil, err
 	}
-	h := &streamHandle{cur: cur, cleanup: cleanup, rec: rec, root: root, t0: t0}
+	h := &streamHandle{cur: cur, cleanup: cleanup, rec: rec, root: root, t0: t0, res: res, st: ex.Stats}
 	return h, res.Candidate.Root.Schema(), nil
 }
 
 // streamHandle finalizes a streamed execution at Close: leftover prefetched
 // streams are released, the ledger's execute record is completed with the
-// rows actually pulled, and the execute span ends.
+// rows actually pulled, the execute span ends, and the flight dossier (if a
+// recorder is on) is assembled from whatever the cursor's consumer pulled.
 type streamHandle struct {
 	cur     exec.Cursor
 	cleanup func()
 	rec     *ledger.Rec
 	root    *obs.Span
 	t0      time.Time
+	res     *Result
+	st      *exec.RunStats
 	rows    int64
 	err     error
 	closed  bool
@@ -318,8 +323,8 @@ func (h *streamHandle) Close() error {
 	h.closed = true
 	err := h.cur.Close()
 	h.cleanup()
+	wall := float64(time.Since(h.t0).Microseconds()) / 1000
 	if h.rec != nil {
-		wall := float64(time.Since(h.t0).Microseconds()) / 1000
 		msg := ""
 		if h.err != nil {
 			msg = h.err.Error()
@@ -327,5 +332,6 @@ func (h *streamHandle) Close() error {
 		h.rec.ExecFinished(wall, h.rows, msg)
 	}
 	h.root.End()
+	finalizeFlight(h.res, h.root, h.st, wall, h.rows, h.err)
 	return err
 }

@@ -30,10 +30,10 @@ import (
 
 // Table is one regenerated experiment result.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Fprint renders the table as aligned text.
@@ -708,6 +708,7 @@ func QuickSpecs(seed int64) []Spec {
 		{"F16", func() *Table { return F16Calibration(6, seed) }},
 		{"F17", func() *Table { return F17Churn(4, 3, 6, seed) }},
 		{"F18", func() *Table { return F18Streaming([]int{400, 3200}, seed) }},
+		{"F19", func() *Table { return F19Flight(8, seed) }},
 	}
 }
 
@@ -734,6 +735,7 @@ func FullSpecs(seed int64) []Spec {
 		{"F16", func() *Table { return F16Calibration(20, seed) }},
 		{"F17", func() *Table { return F17Churn(8, 4, 12, seed) }},
 		{"F18", func() *Table { return F18Streaming([]int{400, 1600, 6400, 25600}, seed) }},
+		{"F19", func() *Table { return F19Flight(24, seed) }},
 	}
 }
 

@@ -167,7 +167,7 @@ func TestQuickSuiteAndPrint(t *testing.T) {
 		t.Skip("full quick suite in short mode")
 	}
 	tables := Quick(1)
-	if len(tables) != 20 {
+	if len(tables) != 21 {
 		t.Fatalf("tables: %d", len(tables))
 	}
 	var buf bytes.Buffer
@@ -175,7 +175,7 @@ func TestQuickSuiteAndPrint(t *testing.T) {
 		tab.Fprint(&buf)
 	}
 	out := buf.String()
-	for _, id := range []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18"} {
+	for _, id := range []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18", "F19"} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Fatalf("missing table %s in output", id)
 		}

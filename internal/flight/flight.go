@@ -1,0 +1,353 @@
+// Package flight is the query flight recorder: one bounded structure per
+// completed negotiation — the dossier — unifying the evidence that today
+// lives on three disconnected surfaces (trace ring, trading ledger,
+// executor RunStats). A dossier carries the grafted span tree, the
+// negotiation's ledger event chain, per-operator est-vs-actual rows,
+// quoted-vs-measured cost, wire bytes, and recovery reasons, so "why was
+// that query slow" is answered by one GET instead of a three-way join by
+// hand.
+//
+// The recorder retains a ring of recent dossiers plus a worst-K outlier set
+// auto-captured by trigger rules (latency SLO breach, any recovery event,
+// quoted-vs-measured cost outlier, est/actual cardinality blowout). Like
+// the ledger and the tracer, a nil *Recorder is a valid off switch: every
+// method is a pure nil check (pinned by TestDisabledRecorderZeroAlloc), and
+// internal/core skips dossier assembly entirely when Config.Flight is nil.
+package flight
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"qtrade/internal/ledger"
+	"qtrade/internal/obs"
+)
+
+// Trigger names, as they appear in Dossier.Triggers and /debug/queries.
+const (
+	TrigSlow        = "slow_slo"     // wall time reached the latency SLO
+	TrigRecovery    = "recovery"     // execution needed a recovery substitution
+	TrigCostOutlier = "cost_outlier" // measured/quoted cost ratio outside band
+	TrigCardError   = "card_blowout" // an operator's est/actual rows error blew past the threshold
+)
+
+// Triggers are the outlier-capture rules. The zero value means defaults for
+// the ratio rules and a disabled latency SLO.
+type Triggers struct {
+	// SlowMS is the latency SLO in milliseconds: a dossier whose WallMS is
+	// greater than OR EQUAL to it trips TrigSlow (exactly-at-SLO breaches).
+	// 0 disables the rule.
+	SlowMS float64
+	// CostRatioFactor flags quoted-vs-measured outliers: a dossier whose
+	// CostRatio is >= factor or <= 1/factor trips TrigCostOutlier.
+	// 0 means DefaultCostRatioFactor.
+	CostRatioFactor float64
+	// CardErrorFactor flags cardinality misestimates: a dossier whose
+	// CardError (the worst per-operator est-vs-actual rows ratio) is >= the
+	// factor trips TrigCardError. 0 means DefaultCardErrorFactor.
+	CardErrorFactor float64
+}
+
+// Default trigger factors: a seller off by 4× on cost or a planner off by
+// 8× on cardinality is worth keeping.
+const (
+	DefaultCostRatioFactor = 4.0
+	DefaultCardErrorFactor = 8.0
+)
+
+// Evaluate returns the trigger names d trips, in declaration order. Pure —
+// the trigger-edge tests drive it directly.
+func (t Triggers) Evaluate(d *Dossier) []string {
+	var out []string
+	if t.SlowMS > 0 && d.WallMS >= t.SlowMS {
+		out = append(out, TrigSlow)
+	}
+	if len(d.Recoveries) > 0 {
+		out = append(out, TrigRecovery)
+	}
+	cf := t.CostRatioFactor
+	if cf <= 0 {
+		cf = DefaultCostRatioFactor
+	}
+	if d.CostRatio > 0 && (d.CostRatio >= cf || d.CostRatio <= 1/cf) {
+		out = append(out, TrigCostOutlier)
+	}
+	ef := t.CardErrorFactor
+	if ef <= 0 {
+		ef = DefaultCardErrorFactor
+	}
+	if d.CardError >= ef {
+		out = append(out, TrigCardError)
+	}
+	return out
+}
+
+// OpStat is one operator's est-vs-actual row in a dossier, in the plan's
+// pre-order (Depth indents like EXPLAIN).
+type OpStat struct {
+	Op       string  `json:"op"`
+	Depth    int     `json:"depth"`
+	EstRows  int64   `json:"est_rows"`            // -1 when the generator had no estimate
+	Rows     int64   `json:"actual_rows"`         // rows produced
+	RowsIn   int64   `json:"rows_in,omitempty"`   // rows consumed from children
+	Calls    int     `json:"calls,omitempty"`     // cursor invocations
+	TimeMS   float64 `json:"time_ms"`             // self+children elapsed
+	Executed bool    `json:"executed"`            // false: purchased but pruned / never pulled
+	ErrRatio float64 `json:"err_ratio,omitempty"` // max(est/actual, actual/est), smoothed by +1
+}
+
+// Recovery is one execution-time substitution the dossier's query survived.
+type Recovery struct {
+	Failed     string `json:"failed"`     // seller that did not deliver
+	Substitute string `json:"substitute"` // seller whose standing offer patched the plan
+	OfferID    string `json:"offer"`
+	Reason     string `json:"reason,omitempty"` // crash/drain/timeout/…
+}
+
+// Dossier is one completed query's unified flight record.
+type Dossier struct {
+	ID    string    `json:"id"` // negotiation id (first RFB id)
+	Buyer string    `json:"buyer"`
+	SQL   string    `json:"sql"`
+	Start time.Time `json:"start"`
+
+	WallMS     float64 `json:"wall_ms"`     // optimize + execute
+	OptimizeMS float64 `json:"optimize_ms"` // B1–B8 negotiation wall
+	ExecMS     float64 `json:"exec_ms"`     // winning-plan execution wall
+
+	QuotedMS    float64 `json:"quoted_ms"`            // Σ purchased offers' quoted cost
+	QuotedPrice float64 `json:"quoted_price"`         // Σ purchased offers' asking prices
+	FetchMS     float64 `json:"fetch_ms,omitempty"`   // Σ buyer-measured delivery walls
+	CostRatio   float64 `json:"cost_ratio,omitempty"` // measured / quoted (>1 sellers underquoted)
+
+	Rows      int64  `json:"rows"`
+	WireBytes int64  `json:"wire_bytes"`
+	Err       string `json:"err,omitempty"`
+
+	CardError  float64    `json:"max_card_error,omitempty"` // worst OpStat.ErrRatio
+	Recoveries []Recovery `json:"recoveries,omitempty"`
+	Triggers   []string   `json:"triggers,omitempty"` // why the outlier set kept it
+
+	Operators []OpStat           `json:"operators,omitempty"`
+	Ledger    ledger.Negotiation `json:"ledger"`
+	Spans     []*obs.SpanPayload `json:"spans,omitempty"`
+}
+
+// DefaultCapacity and DefaultWorstK shape a NewRecorder ring when the
+// capacity argument is <= 0.
+const (
+	DefaultCapacity = 64
+	DefaultWorstK   = 16
+)
+
+// Recorder retains recent dossiers plus the worst-K trigger-flagged
+// outliers. Safe for concurrent use; a nil *Recorder no-ops everywhere.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	worstK   int
+	trig     Triggers
+	recent   []*Dossier // newest last
+	outliers []*Dossier // worst (highest WallMS) first
+	admitted int64
+	flagged  int64
+}
+
+// NewRecorder returns a recorder retaining the last capacity dossiers
+// (DefaultCapacity when capacity <= 0) plus DefaultWorstK outliers, with
+// default triggers (no latency SLO until SetTriggers arms one).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{capacity: capacity, worstK: DefaultWorstK}
+}
+
+// SetTriggers replaces the outlier-capture rules (applies to dossiers
+// admitted from now on). Nil-safe.
+func (r *Recorder) SetTriggers(t Triggers) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trig = t
+	r.mu.Unlock()
+}
+
+// Triggers returns the active rules (zero value for nil).
+func (r *Recorder) Triggers() Triggers {
+	if r == nil {
+		return Triggers{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trig
+}
+
+// SetWorstK resizes the outlier set (k < 1 restores the default). Nil-safe.
+func (r *Recorder) SetWorstK(k int) {
+	if r == nil {
+		return
+	}
+	if k < 1 {
+		k = DefaultWorstK
+	}
+	r.mu.Lock()
+	r.worstK = k
+	if len(r.outliers) > k {
+		r.outliers = r.outliers[:k]
+	}
+	r.mu.Unlock()
+}
+
+// dropID removes any retained dossier with the given id. Caller holds r.mu.
+// Re-admission under one id happens when recovery re-executes the same
+// negotiation's plan: the final state replaces the partial one.
+func (r *Recorder) dropID(id string) {
+	for i := 0; i < len(r.recent); i++ {
+		if r.recent[i].ID == id {
+			r.recent = append(r.recent[:i], r.recent[i+1:]...)
+			i--
+		}
+	}
+	for i := 0; i < len(r.outliers); i++ {
+		if r.outliers[i].ID == id {
+			r.outliers = append(r.outliers[:i], r.outliers[i+1:]...)
+			i--
+		}
+	}
+}
+
+// Admit evaluates the triggers on d, stamps d.Triggers, and retains it: in
+// the recent ring always, and in the worst-K outlier set when a trigger
+// fired. A dossier with an already-retained ID replaces the older capture.
+// The recorder owns d after Admit. Nil-safe on both sides.
+func (r *Recorder) Admit(d *Dossier) {
+	if r == nil || d == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d.Triggers = r.trig.Evaluate(d)
+	if d.ID != "" {
+		r.dropID(d.ID)
+	}
+	r.admitted++
+	r.recent = append(r.recent, d)
+	if len(r.recent) > r.capacity {
+		r.recent = r.recent[1:]
+	}
+	if len(d.Triggers) == 0 {
+		return
+	}
+	r.flagged++
+	at := sort.Search(len(r.outliers), func(i int) bool { return r.outliers[i].WallMS < d.WallMS })
+	r.outliers = append(r.outliers, nil)
+	copy(r.outliers[at+1:], r.outliers[at:])
+	r.outliers[at] = d
+	if len(r.outliers) > r.worstK {
+		r.outliers = r.outliers[:r.worstK]
+	}
+}
+
+// Recent returns up to n retained dossiers, newest first (all when n <= 0).
+// Dossiers are shared snapshots: treat them as read-only.
+func (r *Recorder) Recent(n int) []*Dossier {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := len(r.recent)
+	if n > 0 && n < k {
+		k = n
+	}
+	out := make([]*Dossier, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, r.recent[len(r.recent)-1-i])
+	}
+	return out
+}
+
+// Outliers returns the worst-K trigger-flagged dossiers, worst first.
+func (r *Recorder) Outliers() []*Dossier {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Dossier(nil), r.outliers...)
+}
+
+// Slow merges the outlier set and the recent ring (outliers win ties),
+// dedupes by ID, and returns up to n dossiers sorted slowest first — the
+// qtsql \slow and Federation.SlowQueries view.
+func (r *Recorder) Slow(n int) []*Dossier {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	seen := make(map[string]bool, len(r.outliers)+len(r.recent))
+	merged := make([]*Dossier, 0, len(r.outliers)+len(r.recent))
+	for _, d := range r.outliers {
+		if !seen[d.ID] {
+			seen[d.ID] = true
+			merged = append(merged, d)
+		}
+	}
+	for _, d := range r.recent {
+		if !seen[d.ID] {
+			seen[d.ID] = true
+			merged = append(merged, d)
+		}
+	}
+	r.mu.Unlock()
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].WallMS > merged[j].WallMS })
+	if n > 0 && n < len(merged) {
+		merged = merged[:n]
+	}
+	return merged
+}
+
+// Get returns the retained dossier with the given id (nil when evicted or
+// never captured).
+func (r *Recorder) Get(id string) *Dossier {
+	if r == nil || id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		if r.recent[i].ID == id {
+			return r.recent[i]
+		}
+	}
+	for _, d := range r.outliers {
+		if d.ID == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// Stats reports how many dossiers were admitted ever and how many tripped
+// at least one trigger.
+func (r *Recorder) Stats() (admitted, flagged int64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admitted, r.flagged
+}
+
+// Len reports how many dossiers the recent ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recent)
+}

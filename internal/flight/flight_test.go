@@ -1,0 +1,263 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qtrade/internal/ledger"
+	"qtrade/internal/obs"
+)
+
+func d(id string, wall float64) *Dossier {
+	return &Dossier{ID: id, Buyer: "hq", SQL: "SELECT 1", WallMS: wall}
+}
+
+// TestDisabledRecorderZeroAlloc pins the off switch: a nil *Recorder must
+// be free on the hot path, exactly like the nil ledger and tracer.
+func TestDisabledRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	doss := d("q1", 5)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Admit(doss)
+		r.SetTriggers(Triggers{SlowMS: 1})
+		_ = r.Triggers()
+		_ = r.Recent(4)
+		_ = r.Outliers()
+		_ = r.Slow(4)
+		_ = r.Get("q1")
+		_, _ = r.Stats()
+		_ = r.Len()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder must not allocate, got %.1f allocs/op", allocs)
+	}
+}
+
+// TestTriggerEdges pins the rule boundaries the outlier set depends on.
+func TestTriggerEdges(t *testing.T) {
+	trig := Triggers{SlowMS: 100}
+
+	// Exactly at the SLO counts as a breach.
+	if got := trig.Evaluate(&Dossier{WallMS: 100}); len(got) != 1 || got[0] != TrigSlow {
+		t.Fatalf("exactly-at-SLO must trip slow_slo: %v", got)
+	}
+	if got := trig.Evaluate(&Dossier{WallMS: 99.999}); len(got) != 0 {
+		t.Fatalf("below SLO must not trip: %v", got)
+	}
+	// SlowMS == 0 disables the latency rule entirely.
+	if got := (Triggers{}).Evaluate(&Dossier{WallMS: 1e9}); len(got) != 0 {
+		t.Fatalf("disabled SLO tripped: %v", got)
+	}
+
+	// A recovery-then-success query still carries its recovery list and is
+	// captured even though it finished fine and fast.
+	rec := &Dossier{WallMS: 1, Recoveries: []Recovery{{Failed: "n2", Substitute: "n3", Reason: "crash"}}}
+	if got := trig.Evaluate(rec); len(got) != 1 || got[0] != TrigRecovery {
+		t.Fatalf("recovery-then-success must trip recovery: %v", got)
+	}
+
+	// Cost ratio trips on both sides of the default 4× band.
+	if got := (Triggers{}).Evaluate(&Dossier{CostRatio: 4}); len(got) != 1 || got[0] != TrigCostOutlier {
+		t.Fatalf("4x underquote must trip: %v", got)
+	}
+	if got := (Triggers{}).Evaluate(&Dossier{CostRatio: 0.25}); len(got) != 1 || got[0] != TrigCostOutlier {
+		t.Fatalf("4x overquote must trip: %v", got)
+	}
+	if got := (Triggers{}).Evaluate(&Dossier{CostRatio: 3.9}); len(got) != 0 {
+		t.Fatalf("in-band ratio tripped: %v", got)
+	}
+	if got := (Triggers{}).Evaluate(&Dossier{CostRatio: 0}); len(got) != 0 {
+		t.Fatalf("unknown ratio (no quotes) tripped: %v", got)
+	}
+
+	// Cardinality blowout at the default 8× threshold.
+	if got := (Triggers{}).Evaluate(&Dossier{CardError: 8}); len(got) != 1 || got[0] != TrigCardError {
+		t.Fatalf("8x card error must trip: %v", got)
+	}
+	if got := (Triggers{CardErrorFactor: 100}).Evaluate(&Dossier{CardError: 8}); len(got) != 0 {
+		t.Fatalf("raised threshold still tripped: %v", got)
+	}
+
+	// Multiple rules can fire at once; order is stable.
+	multi := trig.Evaluate(&Dossier{WallMS: 500, CostRatio: 10, CardError: 20,
+		Recoveries: []Recovery{{Failed: "n2"}}})
+	want := []string{TrigSlow, TrigRecovery, TrigCostOutlier, TrigCardError}
+	if fmt.Sprint(multi) != fmt.Sprint(want) {
+		t.Fatalf("multi-trigger: got %v want %v", multi, want)
+	}
+}
+
+// TestRecorderRetention pins the ring bound, the worst-K ordering, and the
+// replace-by-ID semantics recovery re-execution depends on.
+func TestRecorderRetention(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetTriggers(Triggers{SlowMS: 100})
+	r.SetWorstK(2)
+
+	for i := 0; i < 8; i++ {
+		r.Admit(d(fmt.Sprintf("q%d", i), float64(10*i))) // q0..q7, walls 0..70
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring must hold capacity: %d", r.Len())
+	}
+	recent := r.Recent(0)
+	if len(recent) != 4 || recent[0].ID != "q7" || recent[3].ID != "q4" {
+		t.Fatalf("recent order: %v", ids(recent))
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0].ID != "q7" {
+		t.Fatalf("recent limit: %v", ids(got))
+	}
+	if len(r.Outliers()) != 0 {
+		t.Fatal("nothing breached the SLO yet")
+	}
+
+	// Three breaches into a worst-2 set: the mildest one falls out.
+	r.Admit(d("s1", 150))
+	r.Admit(d("s2", 400))
+	r.Admit(d("s3", 250))
+	out := r.Outliers()
+	if len(out) != 2 || out[0].ID != "s2" || out[1].ID != "s3" {
+		t.Fatalf("worst-K: %v", ids(out))
+	}
+	if out[0].Triggers[0] != TrigSlow {
+		t.Fatalf("admitted dossier must be stamped with its triggers: %v", out[0].Triggers)
+	}
+
+	// The ring evicted s1 (capacity 4: s3,s2,s1,q7 → wait, it holds the
+	// last 4 admitted: q7 was pushed out). Outlier retention is independent
+	// of the ring, so an evicted-from-ring outlier stays addressable.
+	for i := 0; i < 8; i++ {
+		r.Admit(d(fmt.Sprintf("f%d", i), 1))
+	}
+	if got := r.Get("s2"); got == nil || got.WallMS != 400 {
+		t.Fatal("outlier must survive ring eviction")
+	}
+
+	// Re-admitting an ID (recovery re-executed the plan) replaces, never
+	// duplicates.
+	r.Admit(d("s2", 600))
+	if got := r.Get("s2"); got.WallMS != 600 {
+		t.Fatalf("replace-by-ID: %v", got.WallMS)
+	}
+	n := 0
+	for _, x := range append(r.Recent(0), r.Outliers()...) {
+		if x.ID == "s2" {
+			n++
+		}
+	}
+	if n != 2 { // once in ring, once in outliers — never twice in either
+		t.Fatalf("s2 retained %d times", n)
+	}
+
+	admitted, flagged := r.Stats()
+	if admitted != 20 || flagged != 4 {
+		t.Fatalf("stats: admitted=%d flagged=%d", admitted, flagged)
+	}
+}
+
+// TestRecorderSlow pins the merged slowest-first view behind qtsql \slow.
+func TestRecorderSlow(t *testing.T) {
+	r := NewRecorder(3)
+	r.SetTriggers(Triggers{SlowMS: 100})
+	r.Admit(d("a", 150)) // outlier, will fall out of the ring
+	r.Admit(d("b", 20))
+	r.Admit(d("c", 90))
+	r.Admit(d("e", 50)) // evicts a from the ring
+	slow := r.Slow(0)
+	if len(slow) != 4 || slow[0].ID != "a" || slow[1].ID != "c" || slow[2].ID != "e" || slow[3].ID != "b" {
+		t.Fatalf("slow view: %v", ids(slow))
+	}
+	if got := r.Slow(2); len(got) != 2 || got[0].ID != "a" || got[1].ID != "c" {
+		t.Fatalf("slow limit: %v", ids(got))
+	}
+}
+
+func ids(ds []*Dossier) []string {
+	out := make([]string, len(ds))
+	for i, x := range ds {
+		out[i] = x.ID
+	}
+	return out
+}
+
+// TestRecorderHTTP drives both endpoints through real requests.
+func TestRecorderHTTP(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetTriggers(Triggers{SlowMS: 100})
+	l := ledger.New(4)
+	rec := l.Begin("hq", "SELECT x FROM t")
+	rec.RFBIssued("hq-rfb1", 1, 2)
+	full := &Dossier{
+		ID: "hq-rfb1", Buyer: "hq", SQL: "SELECT x FROM t", WallMS: 250,
+		OptimizeMS: 50, ExecMS: 200, QuotedMS: 40, CostRatio: 5,
+		Rows: 10, WireBytes: 1234,
+		Recoveries: []Recovery{{Failed: "n2", Substitute: "n3", OfferID: "o9", Reason: "crash"}},
+		Operators:  []OpStat{{Op: "Join", EstRows: 10, Rows: 80, ErrRatio: 7.36, Executed: true}},
+		Ledger:     rec.Snapshot(),
+		Spans:      []*obs.SpanPayload{{Source: "hq", Name: "optimize"}},
+	}
+	r.Admit(full)
+	r.Admit(d("hq-rfb2", 5))
+
+	// List view.
+	w := httptest.NewRecorder()
+	r.ServeHTTP(w, httptest.NewRequest("GET", "/debug/queries", nil))
+	if w.Code != 200 {
+		t.Fatalf("list: %d %s", w.Code, w.Body)
+	}
+	var p recorderPayload
+	if err := json.Unmarshal(w.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Admitted != 2 || p.Flagged != 1 || len(p.Recent) != 2 || len(p.Outliers) != 1 {
+		t.Fatalf("payload: %+v", p)
+	}
+	if p.Outliers[0].ID != "hq-rfb1" || p.Outliers[0].Recoveries != 1 || len(p.Outliers[0].Triggers) == 0 {
+		t.Fatalf("outlier summary: %+v", p.Outliers[0])
+	}
+
+	// ?n limit and bad n.
+	w = httptest.NewRecorder()
+	r.ServeHTTP(w, httptest.NewRequest("GET", "/debug/queries?n=1", nil))
+	p = recorderPayload{}
+	_ = json.Unmarshal(w.Body.Bytes(), &p)
+	if len(p.Recent) != 1 || p.Recent[0].ID != "hq-rfb2" {
+		t.Fatalf("n=1: %+v", p.Recent)
+	}
+	w = httptest.NewRecorder()
+	r.ServeHTTP(w, httptest.NewRequest("GET", "/debug/queries?n=zero", nil))
+	if w.Code != 400 {
+		t.Fatalf("bad n: %d", w.Code)
+	}
+
+	// Detail view: one response carrying spans + ledger + operators +
+	// quoted-vs-measured — the acceptance shape.
+	w = httptest.NewRecorder()
+	r.ServeHTTP(w, httptest.NewRequest("GET", "/debug/queries/hq-rfb1", nil))
+	if w.Code != 200 {
+		t.Fatalf("detail: %d %s", w.Code, w.Body)
+	}
+	body := w.Body.String()
+	for _, want := range []string{`"optimize"`, `"rfb"`, `"est_rows": 10`, `"actual_rows": 80`,
+		`"quoted_ms": 40`, `"exec_ms": 200`, `"cost_ratio": 5`, `"reason": "crash"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("detail missing %s:\n%s", want, body)
+		}
+	}
+
+	w = httptest.NewRecorder()
+	r.ServeHTTP(w, httptest.NewRequest("GET", "/debug/queries/nope", nil))
+	if w.Code != 404 {
+		t.Fatalf("unknown id: %d", w.Code)
+	}
+
+	var nilR *Recorder
+	w = httptest.NewRecorder()
+	nilR.ServeHTTP(w, httptest.NewRequest("GET", "/debug/queries", nil))
+	if w.Code != 404 || !strings.Contains(w.Body.String(), "disabled") {
+		t.Fatalf("nil recorder: %d %s", w.Code, w.Body)
+	}
+}

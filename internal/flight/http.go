@@ -1,0 +1,104 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// dossierSummary is the list-view row at /debug/queries: everything needed
+// to decide which dossier to open, without shipping spans and operators.
+type dossierSummary struct {
+	ID         string   `json:"id"`
+	Buyer      string   `json:"buyer"`
+	SQL        string   `json:"sql"`
+	WallMS     float64  `json:"wall_ms"`
+	ExecMS     float64  `json:"exec_ms"`
+	QuotedMS   float64  `json:"quoted_ms"`
+	CostRatio  float64  `json:"cost_ratio,omitempty"`
+	Rows       int64    `json:"rows"`
+	WireBytes  int64    `json:"wire_bytes"`
+	Err        string   `json:"err,omitempty"`
+	Recoveries int      `json:"recoveries,omitempty"`
+	CardError  float64  `json:"max_card_error,omitempty"`
+	Triggers   []string `json:"triggers,omitempty"`
+}
+
+func summarize(d *Dossier) dossierSummary {
+	return dossierSummary{
+		ID: d.ID, Buyer: d.Buyer, SQL: d.SQL,
+		WallMS: d.WallMS, ExecMS: d.ExecMS, QuotedMS: d.QuotedMS,
+		CostRatio: d.CostRatio, Rows: d.Rows, WireBytes: d.WireBytes,
+		Err: d.Err, Recoveries: len(d.Recoveries), CardError: d.CardError,
+		Triggers: d.Triggers,
+	}
+}
+
+type recorderPayload struct {
+	Capacity int              `json:"capacity"`
+	WorstK   int              `json:"worst_k"`
+	Admitted int64            `json:"admitted"`
+	Flagged  int64            `json:"flagged"`
+	Recent   []dossierSummary `json:"recent"`
+	Outliers []dossierSummary `json:"outliers"`
+}
+
+// ServeHTTP serves the recorder on both /debug/queries (summaries of the
+// recent ring and the worst-K outliers; ?n=k limits the recent list) and
+// /debug/queries/{id} (one full dossier: spans, ledger events, operators).
+// A nil recorder answers 404 so a disabled federation stays mountable.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	// Accept /debug/queries, /debug/queries/ and /debug/queries/{id}
+	// regardless of the mount prefix.
+	path := strings.TrimSuffix(req.URL.Path, "/")
+	if i := strings.LastIndex(path, "/debug/queries"); i >= 0 {
+		path = path[i+len("/debug/queries"):]
+	}
+	id := strings.TrimPrefix(path, "/")
+	if id != "" {
+		d := r.Get(id)
+		if d == nil {
+			http.Error(w, fmt.Sprintf("no dossier %q (evicted or never captured)", id), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(d)
+		return
+	}
+	n := 0
+	if raw := req.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	r.mu.Lock()
+	capacity, worstK := r.capacity, r.worstK
+	r.mu.Unlock()
+	admitted, flagged := r.Stats()
+	p := recorderPayload{
+		Capacity: capacity, WorstK: worstK,
+		Admitted: admitted, Flagged: flagged,
+		Recent: make([]dossierSummary, 0, 8), Outliers: make([]dossierSummary, 0, 8),
+	}
+	for _, d := range r.Recent(n) {
+		p.Recent = append(p.Recent, summarize(d))
+	}
+	for _, d := range r.Outliers() {
+		p.Outliers = append(p.Outliers, summarize(d))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(p)
+}

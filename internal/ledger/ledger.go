@@ -36,6 +36,7 @@ const (
 	KindDrain     = "drain"      // a node began draining (no new RFBs)
 	KindUndrain   = "undrain"    // a drain was cancelled
 	KindLeave     = "leave"      // a node left the federation
+	KindAnomaly   = "anomaly"    // watchdog flagged a metrics window
 )
 
 // Event is one entry in a negotiation's stream. Fields are populated per
@@ -61,7 +62,8 @@ type Event struct {
 	Pool     int       `json:"pool,omitempty"`   // buyer pool size after the round
 	Queries  int       `json:"queries,omitempty"`
 	Err      string    `json:"err,omitempty"`
-	Reason   string    `json:"reason,omitempty"` // failure class on recovery events (crash/drain/timeout/…)
+	Reason   string    `json:"reason,omitempty"` // failure class on recovery events (crash/drain/timeout/…), anomaly type on watchdog events
+	Window   int64     `json:"window,omitempty"` // metrics-history window seq on anomaly events
 }
 
 // Negotiation is one RFB sequence's full event chain, exported as a single
@@ -93,6 +95,7 @@ type Ledger struct {
 	negs  []*Rec          // ring, oldest first
 	byRFB map[string]*Rec // every RFBID seen → owning record
 	life  []Event         // membership events (join/drain/undrain/leave), oldest first
+	anoms []Event         // watchdog anomaly events, oldest first
 	cal   calibrator
 }
 
@@ -267,6 +270,20 @@ func (r *Rec) ObservePhase(p Phase, ms float64) {
 	r.l.cal.phase(p, ms)
 }
 
+// Snapshot returns a deep copy of the negotiation recorded so far — the
+// flight recorder folds it into a query dossier at execution end without
+// holding any ledger locks afterwards. Nil-safe (empty Negotiation).
+func (r *Rec) Snapshot() Negotiation {
+	if r == nil {
+		return Negotiation{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	neg := r.n
+	neg.Events = append([]Event(nil), r.n.Events...)
+	return neg
+}
+
 // recFor finds the record owning rfbID, opening a seller-local one when the
 // RFB was issued by a remote buyer whose ledger this process cannot see.
 func (l *Ledger) recFor(rfbID, buyer string) *Rec {
@@ -335,6 +352,38 @@ func (l *Ledger) Lifecycle(kind, node, reason string) {
 	l.mu.Unlock()
 }
 
+// Anomaly records one watchdog finding, outside any negotiation: reason
+// names the anomaly type ("p95_regression", "recovery_spike",
+// "pricecache_hitrate_drop", "calibration_drift"), metric the instrument
+// that tripped it, value/baseline the compared magnitudes, and windowSeq the
+// metrics-history window that was judged. Bounded by the ring capacity.
+// Nil-safe.
+func (l *Ledger) Anomaly(reason, metric string, value, baseline float64, windowSeq int64) {
+	if l == nil {
+		return
+	}
+	e := Event{Kind: KindAnomaly, Reason: reason, QID: metric,
+		WallMS: value, QuotedMS: baseline, Window: windowSeq, At: time.Now()}
+	e.Seq = l.nextSeq()
+	l.mu.Lock()
+	l.anoms = append(l.anoms, e)
+	if len(l.anoms) > l.cap {
+		l.anoms = l.anoms[1:]
+	}
+	l.mu.Unlock()
+}
+
+// Anomalies returns copies of the retained watchdog events, oldest first.
+// Nil-safe.
+func (l *Ledger) Anomalies() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.anoms...)
+}
+
 // LifecycleEvents returns copies of the retained membership events, oldest
 // first. Nil-safe.
 func (l *Ledger) LifecycleEvents() []Event {
@@ -392,7 +441,12 @@ func (l *Ledger) WriteJSONL(w io.Writer, n int) error {
 		}
 	}
 	if life := l.LifecycleEvents(); len(life) > 0 {
-		return enc.Encode(Negotiation{ID: "lifecycle", Events: life})
+		if err := enc.Encode(Negotiation{ID: "lifecycle", Events: life}); err != nil {
+			return err
+		}
+	}
+	if anoms := l.Anomalies(); len(anoms) > 0 {
+		return enc.Encode(Negotiation{ID: "anomalies", Events: anoms})
 	}
 	return nil
 }

@@ -266,6 +266,7 @@ func TestDisabledLedgerZeroAlloc(t *testing.T) {
 		l.Priced("rfb", "hq", "s", "q0", 1, false, 1)
 		l.Served("rfb", "s", "o", "sql", 1, 1, 1)
 		l.ObservePhase(PhaseRewrite, 1)
+		l.Anomaly("p95_regression", "buyer.hq.wall_ms", 2, 1, 0)
 		if l.Len() != 0 {
 			t.Fatal("nil ledger has length")
 		}

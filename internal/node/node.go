@@ -897,6 +897,24 @@ func (n *Node) Execute(req trading.ExecReq) (trading.ExecResp, error) {
 	}
 	if err == nil {
 		resp.ExecMS = wall
+		// Annotate the execute span with the seller-side actuals next to the
+		// quote the buyer purchased against, so a grafted subtree lands in
+		// the buyer's flight dossier carrying est-vs-actual without another
+		// round-trip. (The standing offer may be gone — evicted or another
+		// RFB's — in which case only the actuals ship.)
+		if sp != nil {
+			sp.Set("rows", len(resp.Rows))
+			sp.Set("exec_ms", wall)
+			if req.OfferID != "" {
+				n.mu.Lock()
+				so := n.standing[rfbOfOffer(req.OfferID)][req.OfferID]
+				n.mu.Unlock()
+				if so != nil {
+					sp.Set("est_rows", so.offer.Props.Rows)
+					sp.Set("quoted_ms", so.offer.Props.TotalTime)
+				}
+			}
+		}
 		// Purchased answers (OfferID set) land in the seller's own ledger;
 		// recursive union-branch executions carry no offer id and stay
 		// quiet. A streamed answer with batches still pending records its

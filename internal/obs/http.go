@@ -97,6 +97,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(inst.Sum()))
 			fmt.Fprintf(bw, "%s_count %d\n", pn, inst.Count())
+			// Estimated quantiles as companion gauges (summary-style
+			// {quantile=...} labels would collide with the histogram type, so
+			// they ride as _p50/_p95/_p99 gauges scrapers can alert on
+			// without doing histogram_quantile math).
+			for _, q := range [...]struct {
+				suffix string
+				q      float64
+			}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+				fmt.Fprintf(bw, "# TYPE %s_%s gauge\n%s_%s %s\n",
+					pn, q.suffix, pn, q.suffix, promFloat(inst.Quantile(q.q)))
+			}
 		}
 	})
 	return bw.Flush()
@@ -108,7 +119,8 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	_ = m.WritePrometheus(w)
 }
 
-// traceLogKeep is how many recent sampled traces a TraceLog retains.
+// traceLogKeep is how many recent sampled traces a TraceLog retains by
+// default (NewTraceLog); NewTraceLogN overrides it per log.
 const traceLogKeep = 8
 
 // TraceLog retains a small ring of the most recently sampled negotiations'
@@ -118,23 +130,48 @@ const traceLogKeep = 8
 // Tracer.WriteJSONL.
 type TraceLog struct {
 	mu     sync.Mutex
-	recent []*SpanPayload // newest last, at most traceLogKeep
+	keep   int            // ring capacity (0 means traceLogKeep)
+	recent []*SpanPayload // newest last, at most keep
 	at     time.Time      // when the newest was recorded
 }
 
-// NewTraceLog returns an empty trace log.
+// NewTraceLog returns an empty trace log retaining traceLogKeep traces.
 func NewTraceLog() *TraceLog { return &TraceLog{} }
 
+// NewTraceLogN returns an empty trace log retaining the last n traces
+// (n < 1 falls back to the default capacity).
+func NewTraceLogN(n int) *TraceLog {
+	if n < 1 {
+		n = 0
+	}
+	return &TraceLog{keep: n}
+}
+
+// Keep reports the ring capacity (0 for nil).
+func (l *TraceLog) Keep() int {
+	if l == nil {
+		return 0
+	}
+	if l.keep > 0 {
+		return l.keep
+	}
+	return traceLogKeep
+}
+
 // Record stores p as the most recent trace, evicting the oldest once the
-// ring holds traceLogKeep. Nil-safe on both sides.
+// ring is at capacity. Nil-safe on both sides.
 func (l *TraceLog) Record(p *SpanPayload) {
 	if l == nil || p == nil {
 		return
 	}
 	l.mu.Lock()
+	keep := l.keep
+	if keep < 1 {
+		keep = traceLogKeep
+	}
 	l.recent = append(l.recent, p)
-	if len(l.recent) > traceLogKeep {
-		l.recent = l.recent[len(l.recent)-traceLogKeep:]
+	if len(l.recent) > keep {
+		l.recent = l.recent[len(l.recent)-keep:]
 	}
 	l.at = time.Now()
 	l.mu.Unlock()

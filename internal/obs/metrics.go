@@ -17,6 +17,16 @@ import (
 type Metrics struct {
 	m    sync.Map // name -> *Counter | *Gauge | *Histogram
 	help sync.Map // name -> string, emitted as # HELP by WritePrometheus
+	size atomic.Int64
+}
+
+// Size returns the number of registered instruments (0 for nil). The history
+// sampler polls it to notice registry growth without walking the map.
+func (m *Metrics) Size() int {
+	if m == nil {
+		return 0
+	}
+	return int(m.size.Load())
 }
 
 // SetHelp registers one-line help text for the named instrument;
@@ -55,7 +65,10 @@ func (m *Metrics) Counter(name string) *Counter {
 		c, _ := v.(*Counter)
 		return c
 	}
-	v, _ := m.m.LoadOrStore(name, &Counter{})
+	v, loaded := m.m.LoadOrStore(name, &Counter{})
+	if !loaded {
+		m.size.Add(1)
+	}
 	c, _ := v.(*Counter)
 	return c
 }
@@ -69,7 +82,10 @@ func (m *Metrics) Gauge(name string) *Gauge {
 		g, _ := v.(*Gauge)
 		return g
 	}
-	v, _ := m.m.LoadOrStore(name, &Gauge{})
+	v, loaded := m.m.LoadOrStore(name, &Gauge{})
+	if !loaded {
+		m.size.Add(1)
+	}
 	g, _ := v.(*Gauge)
 	return g
 }
@@ -84,7 +100,10 @@ func (m *Metrics) Histogram(name string) *Histogram {
 		h, _ := v.(*Histogram)
 		return h
 	}
-	v, _ := m.m.LoadOrStore(name, &Histogram{})
+	v, loaded := m.m.LoadOrStore(name, &Histogram{})
+	if !loaded {
+		m.size.Add(1)
+	}
 	h, _ := v.(*Histogram)
 	return h
 }
@@ -140,8 +159,9 @@ const histBuckets = 28
 const histBase = 0.001
 
 // Histogram accumulates a distribution in exponential buckets. Observe is a
-// handful of atomic operations and allocation-free. Quantiles are
-// approximated from bucket upper bounds (accurate to the 2× bucket width).
+// handful of atomic operations and allocation-free. Quantiles are estimated
+// by linear interpolation inside the bucket holding the rank (accurate to a
+// fraction of the 2× bucket width, exact when a bucket holds one value).
 type Histogram struct {
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
@@ -210,27 +230,65 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
-// Quantile returns an approximation of the q-quantile (q in [0,1]) as the
-// upper bound of the bucket containing it, clamped to the observed max.
+// Quantile estimates the q-quantile (q in [0,1]) by locating the exponential
+// bucket holding that rank and interpolating linearly inside it, clamped to
+// the observed min/max so single-bucket distributions report exact values.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.Count()
 	if n == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(n)))
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileFromBuckets(&counts, n, q, h.Min(), h.Max())
+}
+
+// quantileFromBuckets interpolates the q-quantile over one set of exponential
+// bucket counts (the registry-wide bounds: bucket i covers
+// (histBase·2^(i-1), histBase·2^i]). Shared by cumulative histograms and the
+// windowed history's per-window deltas, which is why it takes plain counts.
+// min/max clamp the interpolated value when known; pass 0,0 when they aren't.
+func quantileFromBuckets(counts *[histBuckets]int64, n int64, q, min, max float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	rank := math.Ceil(q * float64(n))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen int64
-	bound := histBase
+	lower, upper := 0.0, histBase
 	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return math.Min(bound, h.Max())
+		cnt := counts[i]
+		if cnt > 0 && float64(seen+cnt) >= rank {
+			lo, hi := lower, upper
+			if max > 0 {
+				if i == histBuckets-1 || hi > max {
+					hi = max
+				}
+				if lo > max {
+					lo = max
+				}
+			}
+			if min > 0 && lo < min {
+				lo = min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(seen)) / float64(cnt)
+			return lo + frac*(hi-lo)
 		}
-		bound *= 2
+		seen += cnt
+		lower = upper
+		upper *= 2
 	}
-	return h.Max()
+	if max > 0 {
+		return max
+	}
+	return lower
 }
 
 func atomicAddFloat(bits *atomic.Uint64, delta float64) {
@@ -275,7 +333,7 @@ func atomicMaxFloat(bits *atomic.Uint64, v float64) {
 
 // Snapshot renders every registered instrument as sorted "name value" lines:
 // counters as integers, gauges as floats, histograms as
-// count/sum/mean/p50/p95/max. The output is stable across runs (sorted by
+// count/sum/mean/p50/p95/p99/max. The output is stable across runs (sorted by
 // name) so it can be diffed.
 func (m *Metrics) Snapshot() string {
 	if m == nil {
@@ -291,8 +349,8 @@ func (m *Metrics) Snapshot() string {
 		case *Gauge:
 			lines = append(lines, line{name, fmt.Sprintf("%-46s %g", name, inst.Value())})
 		case *Histogram:
-			lines = append(lines, line{name, fmt.Sprintf("%-46s count=%d sum=%.3f mean=%.3f p50=%.3f p95=%.3f max=%.3f",
-				name, inst.Count(), inst.Sum(), inst.Mean(), inst.Quantile(0.50), inst.Quantile(0.95), inst.Max())})
+			lines = append(lines, line{name, fmt.Sprintf("%-46s count=%d sum=%.3f mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+				name, inst.Count(), inst.Sum(), inst.Mean(), inst.Quantile(0.50), inst.Quantile(0.95), inst.Quantile(0.99), inst.Max())})
 		}
 		return true
 	})

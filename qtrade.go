@@ -40,6 +40,7 @@ import (
 	"qtrade/internal/core"
 	"qtrade/internal/cost"
 	"qtrade/internal/exec"
+	"qtrade/internal/flight"
 	"qtrade/internal/ledger"
 	"qtrade/internal/netsim"
 	"qtrade/internal/node"
@@ -211,6 +212,14 @@ type Federation struct {
 	faults  *trading.FaultPolicy
 	ledger  *ledger.Ledger     // nil unless WithLedger; immutable after creation
 	dir     *trading.Directory // health-gated peer view; immutable after creation
+
+	flight   *flight.Recorder // nil unless WithFlightRecorder; immutable after creation
+	history  *obs.History     // nil unless WithMetricsHistory; immutable after creation
+	watchdog *flight.Watchdog // rides history; immutable after creation
+
+	wantHistory   bool // set by WithMetricsHistory, resolved by finishObsSetup
+	historyWindow time.Duration
+	historyKeep   int
 }
 
 // NewFederation creates an empty federation over the schema.
@@ -225,6 +234,7 @@ func NewFederation(s *Schema, opts ...FederationOption) *Federation {
 	for _, o := range opts {
 		o(f)
 	}
+	f.finishObsSetup()
 	return f
 }
 
@@ -421,7 +431,7 @@ func (f *Federation) Optimize(buyer, sql string, opts ...OptimizeOption) (*Plan,
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
 	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics,
-		Faults: faults, Ledger: f.ledger, Directory: f.dir}
+		Faults: faults, Ledger: f.ledger, Directory: f.dir, Flight: f.flight}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -541,7 +551,7 @@ func (f *Federation) QueryWithRecovery(buyer, sql string, maxRetries int, opts .
 		return nil, fmt.Errorf("qtrade: unknown buyer node %q", buyer)
 	}
 	cfg := core.Config{ID: buyer, Schema: f.schema.sch, Self: bn.inner, Metrics: f.metrics,
-		Faults: faults, Ledger: f.ledger, Directory: f.dir}
+		Faults: faults, Ledger: f.ledger, Directory: f.dir, Flight: f.flight}
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -8,7 +8,11 @@
 #      the negotiation (TYPE lines + a non-zero RFB counter), and
 #   3. the buyer's live /ledger serves a complete negotiation chain (RFB,
 #      bids, an award, execution with measured actuals) and /calibration
-#      reports per-seller quoted-vs-measured ratios.
+#      reports per-seller quoted-vs-measured ratios, and
+#   4. the buyer's flight recorder serves the query as a complete dossier at
+#      /debug/queries/{id} (walls, quoted cost, operators, ledger chain,
+#      grafted spans) and /metrics/history has rolled up at least two
+#      windows of the 200ms sampler.
 # A churn phase follows: one qtnode is killed outright mid-session (queries
 # against the surviving node must keep succeeding), then restarted (its
 # /healthz must report ready and federation-wide queries must work again),
@@ -89,7 +93,8 @@ qtsql_ok=0
 for _ in 1 2 3; do
     rm -f "$fifo"; mkfifo "$fifo"
     "$dir/qtsql" -connect corfu=127.0.0.1:7101,myconos=127.0.0.1:7102 \
-        -obs-addr 127.0.0.1:9100 <"$fifo" >"$dir/qtsql.log" 2>&1 &
+        -obs-addr 127.0.0.1:9100 -history-window 200ms \
+        <"$fifo" >"$dir/qtsql.log" 2>&1 &
     qtsql_pid=$!
     pids="$pids $qtsql_pid"
     exec 3>"$fifo"
@@ -136,6 +141,42 @@ done
 curl -fsS "http://127.0.0.1:9101/ledger" >"$dir/ledger.corfu.jsonl"
 grep -q '"kind":"priced"' "$dir/ledger.corfu.jsonl" || {
     echo "FAIL: corfu ledger has no pricing events"; cat "$dir/ledger.corfu.jsonl"; exit 1; }
+
+echo "== assert /debug/queries serves a complete dossier"
+# The flight recorder admitted the traced query as a dossier: the list
+# endpoint serves summaries, and the per-id detail endpoint the full record —
+# walls, quoted-vs-measured cost, operator roster, the negotiation's ledger
+# chain and the grafted federation-wide span tree.
+curl -fsS "http://127.0.0.1:9100/debug/queries" >"$dir/queries.json"
+for want in '"id"' '"sql"' '"wall_ms"' '"rows"'; do
+    grep -q -- "$want" "$dir/queries.json" || {
+        echo "FAIL: /debug/queries missing $want"; cat "$dir/queries.json"; exit 1; }
+done
+qid="$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$dir/queries.json" | head -1)"
+[ -n "$qid" ] || {
+    echo "FAIL: /debug/queries has no dossier id"; cat "$dir/queries.json"; exit 1; }
+curl -fsS "http://127.0.0.1:9100/debug/queries/$qid" >"$dir/dossier.json"
+for want in '"buyer"' '"optimize_ms"' '"quoted_ms"' '"operators"' '"ledger"' '"spans"'; do
+    grep -q -- "$want" "$dir/dossier.json" || {
+        echo "FAIL: dossier $qid missing $want"; cat "$dir/dossier.json"; exit 1; }
+done
+
+echo "== assert /metrics/history rolls up windows"
+# The 200ms sampler must have closed at least two rollup windows by now; each
+# carries a sequence number, its bounds, and counter/histogram deltas.
+hist_ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:9100/metrics/history?n=8" >"$dir/history.json" 2>/dev/null; then
+        if [ "$(grep -c '"seq":' "$dir/history.json")" -ge 2 ]; then
+            hist_ok=1; break
+        fi
+    fi
+    sleep 0.1
+done
+[ "$hist_ok" = 1 ] || {
+    echo "FAIL: /metrics/history never served 2 windows"; cat "$dir/history.json" 2>/dev/null; exit 1; }
+grep -q '"start_unix_ms"' "$dir/history.json" || {
+    echo "FAIL: history window has no bounds"; cat "$dir/history.json"; exit 1; }
 
 printf '\\quit\n' >&3
 exec 3>&-
